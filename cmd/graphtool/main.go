@@ -1,0 +1,113 @@
+// Command graphtool analyzes a swap digraph: strong connectivity,
+// feedback vertex sets (the protocol's leader candidates), diameter, and
+// Graphviz DOT output.
+//
+// Usage:
+//
+//	graphtool [-dot] "<n>: <head>-<tail>, <head>-<tail>, ..."
+//
+// For example, the paper's three-way swap:
+//
+//	graphtool "3: 0-1, 1-2, 2-0"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	atomicswap "github.com/go-atomicswap/atomicswap"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of analysis")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: graphtool [-dot] \"<n>: 0-1, 1-2, ...\"")
+		os.Exit(2)
+	}
+	d, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphtool:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		leaders, _ := d.MinFVS()
+		highlight := make(map[digraph.Vertex]bool, len(leaders))
+		for _, l := range leaders {
+			highlight[l] = true
+		}
+		fmt.Print(d.DOT("swap", highlight))
+		return
+	}
+	analyze(d)
+}
+
+func parse(s string) (*atomicswap.Digraph, error) {
+	nStr, arcsStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("missing vertex count prefix %q", s)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(nStr))
+	if err != nil {
+		return nil, fmt.Errorf("vertex count: %w", err)
+	}
+	d := atomicswap.NewDigraph()
+	for i := 0; i < n; i++ {
+		d.AddVertex("")
+	}
+	for _, part := range strings.Split(arcsStr, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		headStr, tailStr, ok := strings.Cut(part, "-")
+		if !ok {
+			return nil, fmt.Errorf("arc %q wants head-tail", part)
+		}
+		head, err := strconv.Atoi(strings.TrimSpace(headStr))
+		if err != nil {
+			return nil, fmt.Errorf("arc %q head: %w", part, err)
+		}
+		tail, err := strconv.Atoi(strings.TrimSpace(tailStr))
+		if err != nil {
+			return nil, fmt.Errorf("arc %q tail: %w", part, err)
+		}
+		if _, err := d.AddArc(atomicswap.Vertex(head), atomicswap.Vertex(tail)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func analyze(d *atomicswap.Digraph) {
+	fmt.Printf("vertexes: %d   arcs: %d\n", d.NumVertices(), d.NumArcs())
+	fmt.Printf("strongly connected: %v (required by Theorem 3.5)\n", d.StronglyConnected())
+	diam, exact := d.Diameter()
+	kind := "exact"
+	if !exact {
+		kind = "upper bound"
+	}
+	fmt.Printf("diameter: %d (%s)\n", diam, kind)
+	fvs, optimal := d.MinFVS()
+	fvsKind := "minimum"
+	if !optimal {
+		fvsKind = "greedy"
+	}
+	fmt.Printf("feedback vertex set (%s): %v — these would be the swap leaders\n", fvsKind, fvs)
+	if len(fvs) == 1 {
+		fmt.Println("single leader: the Section 4.6 timeout-only protocol applies")
+	} else {
+		fmt.Println("multiple leaders: the general hashkey protocol is required")
+	}
+	comps := d.SCCs()
+	if len(comps) > 1 {
+		fmt.Printf("strongly connected components (%d):\n", len(comps))
+		for i, c := range comps {
+			fmt.Printf("  %d: %v\n", i, c)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command swapbench runs the full experiment suite — one table per figure
+// or quantitative claim of the paper (see DESIGN.md §4) — and prints the
+// tables EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	swapbench [-only E5[,E9,...]]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/go-atomicswap/atomicswap/internal/expt"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	failed := 0
+	for _, e := range expt.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(tbl.Render())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

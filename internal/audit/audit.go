@@ -1,0 +1,314 @@
+// Package audit implements the fault-attribution extension sketched in
+// the paper's Section 5: after a failed swap, "examine the blockchains to
+// determine who was at fault (by failing to execute an enabled
+// transition)". Given only public information — the swap plan, the
+// ledgers' publication times, and the contracts' final states — the
+// auditor names every party that had an enabled protocol move and did not
+// make it, and every party that published a contract deviating from the
+// plan. A bond scheme would slash exactly these parties.
+//
+// The audit covers the general (hashkey) protocol variant.
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/htlc"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// FaultKind classifies a protocol violation detectable from public state.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultCorruptContract: published a contract that deviates from the
+	// plan.
+	FaultCorruptContract FaultKind = iota + 1
+	// FaultMissingPublication: every entering arc carried a correct
+	// contract (or the party is a leader) and a leaving arc was never
+	// published.
+	FaultMissingPublication
+	// FaultSilentLeader: a leader whose entering arcs were covered in
+	// time never presented its secret anywhere.
+	FaultSilentLeader
+	// FaultUnrelayedSecret: a hashlock opened on the party's leaving arc
+	// early enough to relay, an entering arc's contract was live and
+	// waiting, and the party never presented the extended hashkey.
+	FaultUnrelayedSecret
+)
+
+var faultNames = map[FaultKind]string{
+	FaultCorruptContract:    "corrupt-contract",
+	FaultMissingPublication: "missing-publication",
+	FaultSilentLeader:       "silent-leader",
+	FaultUnrelayedSecret:    "unrelayed-secret",
+}
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault attributes one violation to one party.
+type Fault struct {
+	Party  chain.PartyID
+	Vertex digraph.Vertex
+	Kind   FaultKind
+	Arc    int // offending arc, -1 when not arc-specific
+	Detail string
+}
+
+// String renders the fault.
+func (f Fault) String() string {
+	if f.Arc >= 0 {
+		return fmt.Sprintf("%s: %s (arc %d): %s", f.Party, f.Kind, f.Arc, f.Detail)
+	}
+	return fmt.Sprintf("%s: %s: %s", f.Party, f.Kind, f.Detail)
+}
+
+// arcState is what the ledgers reveal about one arc.
+type arcState struct {
+	contract    *htlc.Swap
+	publishedAt vtime.Ticks
+	correct     bool
+}
+
+// Run audits a finished swap from public state only: the plan and the
+// chain registry. Faults are returned sorted by vertex then kind.
+func Run(spec *core.Spec, reg *chain.Registry) []Fault {
+	if spec.Kind != core.KindGeneral {
+		return nil
+	}
+	states := collect(spec, reg)
+	var faults []Fault
+	faults = append(faults, corruptContracts(spec, states)...)
+	faults = append(faults, missingPublications(spec, states)...)
+	faults = append(faults, silentLeaders(spec, states)...)
+	faults = append(faults, unrelayedSecrets(spec, states)...)
+	sort.Slice(faults, func(i, j int) bool {
+		if faults[i].Vertex != faults[j].Vertex {
+			return faults[i].Vertex < faults[j].Vertex
+		}
+		if faults[i].Kind != faults[j].Kind {
+			return faults[i].Kind < faults[j].Kind
+		}
+		return faults[i].Arc < faults[j].Arc
+	})
+	return faults
+}
+
+// collect reads every arc's contract and publication time off the chains.
+func collect(spec *core.Spec, reg *chain.Registry) map[int]*arcState {
+	states := make(map[int]*arcState, spec.D.NumArcs())
+	pubTimes := make(map[chain.ContractID]vtime.Ticks)
+	for _, name := range reg.Names() {
+		for _, rec := range reg.Chain(name).Records() {
+			if rec.Kind == chain.NoteContractPublished {
+				pubTimes[rec.Contract] = rec.At
+			}
+		}
+	}
+	for id := 0; id < spec.D.NumArcs(); id++ {
+		cid := spec.ContractID(id)
+		c, ok := reg.Chain(spec.Assets[id].Chain).Contract(cid)
+		if !ok {
+			continue
+		}
+		sw, ok := c.(*htlc.Swap)
+		if !ok {
+			continue
+		}
+		states[id] = &arcState{
+			contract:    sw,
+			publishedAt: pubTimes[cid],
+			correct:     swapMatchesPlan(sw, spec, id),
+		}
+	}
+	return states
+}
+
+func swapMatchesPlan(sw *htlc.Swap, spec *core.Spec, arcID int) bool {
+	got, want := sw.Params(), spec.ContractParams(arcID)
+	if got.ID != want.ID || got.Party != want.Party || got.Counter != want.Counter ||
+		got.Asset != want.Asset || got.Start != want.Start || got.Delta != want.Delta ||
+		got.DiamBound != want.DiamBound || len(got.Locks) != len(want.Locks) {
+		return false
+	}
+	for i := range want.Locks {
+		if got.Locks[i] != want.Locks[i] || got.Leaders[i] != want.Leaders[i] ||
+			got.Timelocks[i] != want.Timelocks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func corruptContracts(spec *core.Spec, states map[int]*arcState) []Fault {
+	var faults []Fault
+	for id := 0; id < spec.D.NumArcs(); id++ {
+		st := states[id]
+		if st == nil || st.correct {
+			continue
+		}
+		head := spec.D.Arc(id).Head
+		faults = append(faults, Fault{
+			Party:  spec.PartyOf(head),
+			Vertex: head,
+			Kind:   FaultCorruptContract,
+			Arc:    id,
+			Detail: "published contract deviates from the swap plan",
+		})
+	}
+	return faults
+}
+
+// coveredAt returns when v's entering arcs were all correctly covered
+// (the publication time of the last one), and whether they ever were.
+func coveredAt(spec *core.Spec, states map[int]*arcState, v digraph.Vertex) (vtime.Ticks, bool) {
+	var latest vtime.Ticks
+	for _, arc := range spec.D.In(v) {
+		st := states[arc]
+		if st == nil || !st.correct {
+			return 0, false
+		}
+		if st.publishedAt.After(latest) {
+			latest = st.publishedAt
+		}
+	}
+	return latest, true
+}
+
+func missingPublications(spec *core.Spec, states map[int]*arcState) []Fault {
+	var faults []Fault
+	for _, v := range spec.D.Vertices() {
+		enabled := spec.IsLeader(v)
+		if !enabled {
+			_, enabled = coveredAt(spec, states, v)
+		}
+		if !enabled {
+			continue
+		}
+		for _, arc := range spec.D.Out(v) {
+			if states[arc] == nil {
+				faults = append(faults, Fault{
+					Party:  spec.PartyOf(v),
+					Vertex: v,
+					Kind:   FaultMissingPublication,
+					Arc:    arc,
+					Detail: "entering arcs were covered; leaving contract never published",
+				})
+			}
+		}
+	}
+	return faults
+}
+
+func silentLeaders(spec *core.Spec, states map[int]*arcState) []Fault {
+	var faults []Fault
+	for i, leader := range spec.Leaders {
+		covered, ok := coveredAt(spec, states, leader)
+		if !ok {
+			continue // Phase One never completed for this leader
+		}
+		// The leader's reveal deadline: its degenerate hashkey dies at
+		// start + diam·Δ; it detects its last entering contract Δ after
+		// publication.
+		detect := covered.Add(vtime.Duration(spec.Delta))
+		deadline := spec.Start.Add(vtime.Scale(spec.DiamBound, spec.Delta))
+		if detect.After(deadline) {
+			continue // reveal was never possible in time
+		}
+		revealed := false
+		for id := 0; id < spec.D.NumArcs(); id++ {
+			if st := states[id]; st != nil {
+				if _, open := st.contract.UnlockTime(i); open {
+					revealed = true
+					break
+				}
+			}
+		}
+		if !revealed {
+			faults = append(faults, Fault{
+				Party:  spec.PartyOf(leader),
+				Vertex: leader,
+				Kind:   FaultSilentLeader,
+				Arc:    -1,
+				Detail: fmt.Sprintf("lock %d never opened anywhere despite covered entering arcs", i),
+			})
+		}
+	}
+	return faults
+}
+
+func unrelayedSecrets(spec *core.Spec, states map[int]*arcState) []Fault {
+	var faults []Fault
+	for _, v := range spec.D.Vertices() {
+		for i := range spec.Leaders {
+			// Earliest the party provably knew the secret: the first
+			// unlock of lock i on a leaving arc, plus Δ detection; the
+			// relay deadline stretches with that key's path.
+			var (
+				knew     vtime.Ticks
+				pathLen  int
+				observed bool
+			)
+			for _, arc := range spec.D.Out(v) {
+				st := states[arc]
+				if st == nil {
+					continue
+				}
+				at, open := st.contract.UnlockTime(i)
+				if !open {
+					continue
+				}
+				key := st.contract.UnlockKey(i)
+				if key.Path.Contains(v) {
+					// The party itself signed this chain: it did relay.
+					observed = false
+					break
+				}
+				t := at.Add(vtime.Duration(spec.Delta))
+				if !observed || t.Before(knew) {
+					knew, pathLen, observed = t, key.PathLen(), true
+				}
+			}
+			if !observed {
+				continue
+			}
+			deadline := spec.Start.Add(vtime.Scale(spec.DiamBound+pathLen+1, spec.Delta))
+			for _, arc := range spec.D.In(v) {
+				st := states[arc]
+				if st == nil || !st.correct {
+					continue
+				}
+				if _, open := st.contract.UnlockTime(i); open {
+					continue
+				}
+				ready := st.publishedAt.Add(vtime.Duration(spec.Delta))
+				could := knew
+				if ready.After(could) {
+					could = ready
+				}
+				if could.After(deadline) {
+					continue // never had a valid window
+				}
+				faults = append(faults, Fault{
+					Party:  spec.PartyOf(v),
+					Vertex: v,
+					Kind:   FaultUnrelayedSecret,
+					Arc:    arc,
+					Detail: fmt.Sprintf("knew secret %d by t=%d, entering arc waited, never relayed", i, knew),
+				})
+			}
+		}
+	}
+	return faults
+}

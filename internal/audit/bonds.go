@@ -1,0 +1,66 @@
+package audit
+
+import (
+	"sort"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+)
+
+// Bond settlement closes the loop the paper's Section 5 sketches: "one
+// could require parties to post bonds, and following a failed swap
+// examine the blockchains to determine who was at fault". Every party
+// posts the same bond up front; after the audit, each faulty party's bond
+// is slashed and redistributed equally among the fault-free parties (the
+// griefing victims), with any indivisible remainder burned.
+
+// Settlement reports where each party's bond ended up.
+type Settlement struct {
+	// Bond is the per-party deposit.
+	Bond uint64
+	// Payout maps each party to what it gets back: its own bond if
+	// fault-free, zero if slashed, plus an equal share of all slashed
+	// bonds if fault-free.
+	Payout map[chain.PartyID]uint64
+	// Slashed lists the parties that lost their bonds, sorted.
+	Slashed []chain.PartyID
+	// Burned is the indivisible remainder of the slashed pool.
+	Burned uint64
+}
+
+// Settle computes bond redistribution from audit faults. With no faults,
+// everyone simply gets their bond back.
+func Settle(spec *core.Spec, faults []Fault, bond uint64) *Settlement {
+	atFault := make(map[digraph.Vertex]bool)
+	for _, f := range faults {
+		atFault[f.Vertex] = true
+	}
+	s := &Settlement{
+		Bond:   bond,
+		Payout: make(map[chain.PartyID]uint64, spec.D.NumVertices()),
+	}
+	var honest []chain.PartyID
+	for _, v := range spec.D.Vertices() {
+		p := spec.PartyOf(v)
+		if atFault[v] {
+			s.Slashed = append(s.Slashed, p)
+			s.Payout[p] = 0
+		} else {
+			honest = append(honest, p)
+			s.Payout[p] = bond
+		}
+	}
+	sort.Slice(s.Slashed, func(i, j int) bool { return s.Slashed[i] < s.Slashed[j] })
+	pool := bond * uint64(len(s.Slashed))
+	if len(honest) == 0 {
+		s.Burned = pool
+		return s
+	}
+	share := pool / uint64(len(honest))
+	s.Burned = pool - share*uint64(len(honest))
+	for _, p := range honest {
+		s.Payout[p] += share
+	}
+	return s
+}

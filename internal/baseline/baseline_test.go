@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/graphgen"
+	"github.com/go-atomicswap/atomicswap/internal/outcome"
+)
+
+func TestSequentialAllHonest(t *testing.T) {
+	d := graphgen.ThreeWay()
+	res, err := Sequential(d, DefaultAssets(d), PartyNames(d), 10, nil)
+	if err != nil {
+		t.Fatalf("Sequential: %v", err)
+	}
+	if !res.Report.AllDeal() {
+		t.Error("honest sequential settlement should reach AllDeal")
+	}
+	// One transfer per Δ: 3 arcs -> 3Δ.
+	if res.Duration != 30 {
+		t.Errorf("duration = %d, want 30", res.Duration)
+	}
+}
+
+func TestSequentialDefectorStrandsPredecessor(t *testing.T) {
+	// Carol receives from Bob, then never sends the title: Bob paid and
+	// got paid (Deal)... while Alice paid Bob and received nothing.
+	d := graphgen.ThreeWay()
+	defectors := map[digraph.Vertex]bool{2: true} // Carol
+	res, err := Sequential(d, DefaultAssets(d), PartyNames(d), 10, defectors)
+	if err != nil {
+		t.Fatalf("Sequential: %v", err)
+	}
+	if res.Report.AllDeal() {
+		t.Fatal("defection must break the deal")
+	}
+	if got := res.Report.Of(0); got != outcome.Underwater {
+		t.Errorf("Alice = %v, want Underwater — sequential settlement is not atomic", got)
+	}
+	if got := res.Report.Of(2); got != outcome.FreeRide {
+		t.Errorf("defecting Carol = %v, want FreeRide", got)
+	}
+}
+
+func TestSequentialEarlyDefectorIsNoDeal(t *testing.T) {
+	// If the very first payer defects nothing moves: all NoDeal — the
+	// baseline only fails once value is mid-flight.
+	d := graphgen.ThreeWay()
+	res, err := Sequential(d, DefaultAssets(d), PartyNames(d), 10, map[digraph.Vertex]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Vertices() {
+		if got := res.Report.Of(v); got == outcome.Underwater {
+			t.Errorf("%s underwater on first-payer defection", d.Name(v))
+		}
+	}
+}
+
+func TestSequentialShapeErrors(t *testing.T) {
+	d := graphgen.ThreeWay()
+	if _, err := Sequential(d, nil, PartyNames(d), 10, nil); err == nil {
+		t.Error("missing assets should error")
+	}
+	if _, err := Sequential(d, DefaultAssets(d), nil, 10, nil); err == nil {
+		t.Error("missing parties should error")
+	}
+}
+
+func TestSequentialLargerCycle(t *testing.T) {
+	d := graphgen.Cycle(6)
+	res, err := Sequential(d, DefaultAssets(d), PartyNames(d), 10, map[digraph.Vertex]bool{4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P4 keeps P3's payment; honest P5 then refuses to pay P0, so P0 —
+	// who paid P1 at the start — is stranded Underwater.
+	if got := res.Report.Of(0); got != outcome.Underwater {
+		t.Errorf("P0 = %v, want Underwater", got)
+	}
+	if got := res.Report.Of(4); got != outcome.FreeRide {
+		t.Errorf("defecting P4 = %v, want FreeRide", got)
+	}
+}

@@ -1,0 +1,486 @@
+// Package chain implements the blockchain substrate the swap protocol runs
+// on: append-only, hash-chained ledgers that track asset ownership, host
+// smart contracts, escrow contract assets, and notify observers of state
+// changes.
+//
+// The paper's analysis is independent of any particular blockchain
+// algorithm; all it requires is a publicly readable, tamper-proof ledger
+// where publishing a contract (or changing its state) plus the
+// counterparty's confirmation takes at most Δ. This package provides
+// exactly that abstraction, instrumented so experiments can measure the
+// bytes stored on every chain (Theorem 4.10) and the bytes moved by
+// contract calls (the communication-complexity claim).
+package chain
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// PartyID identifies a protocol participant across all chains.
+type PartyID string
+
+// AssetID identifies an asset within its chain.
+type AssetID string
+
+// ContractID identifies a published contract within its chain.
+type ContractID string
+
+// OwnerKind distinguishes party ownership from contract escrow.
+type OwnerKind int
+
+// Owner kinds.
+const (
+	// OwnerParty marks an asset held directly by a party.
+	OwnerParty OwnerKind = iota + 1
+	// OwnerEscrow marks an asset held by a published contract.
+	OwnerEscrow
+)
+
+// Owner is the current holder of an asset: a party, or a contract holding
+// it in escrow.
+type Owner struct {
+	Kind     OwnerKind
+	Party    PartyID    // set when Kind == OwnerParty
+	Contract ContractID // set when Kind == OwnerEscrow
+}
+
+// ByParty returns a party owner.
+func ByParty(p PartyID) Owner { return Owner{Kind: OwnerParty, Party: p} }
+
+// ByEscrow returns a contract-escrow owner.
+func ByEscrow(c ContractID) Owner { return Owner{Kind: OwnerEscrow, Contract: c} }
+
+// String renders the owner for traces.
+func (o Owner) String() string {
+	switch o.Kind {
+	case OwnerParty:
+		return "party:" + string(o.Party)
+	case OwnerEscrow:
+		return "escrow:" + string(o.Contract)
+	default:
+		return "owner(unset)"
+	}
+}
+
+// Asset is a unit of value registered on a chain — a lump of coins, a car
+// title. Arcs of the swap digraph each transfer one asset whole.
+type Asset struct {
+	ID          AssetID
+	Description string
+	Amount      uint64
+}
+
+// Call is a contract invocation as the hosting chain presents it to the
+// contract: the chain, not the caller, supplies the timestamp.
+type Call struct {
+	Method   string
+	Sender   PartyID
+	Now      vtime.Ticks
+	Args     any
+	ArgsSize int // bytes charged to on-chain storage for this call's payload
+}
+
+// Result is what a successful contract invocation tells the chain to do.
+type Result struct {
+	// Transfer, when set, moves the escrowed asset to this owner and
+	// closes the contract.
+	Transfer *Owner
+	// Note is recorded on the ledger and shown in traces.
+	Note string
+	// Event is an opaque payload delivered to observers (for example the
+	// hashkey that unlocked a hashlock, which is how secrets propagate).
+	Event any
+}
+
+// Contract is code hosted on a chain. Implementations must be
+// deterministic: all state transitions flow through Invoke with
+// chain-supplied timestamps.
+type Contract interface {
+	// ContractID returns the chain-unique contract identifier.
+	ContractID() ContractID
+	// Party returns the asset owner who published the contract.
+	Party() PartyID
+	// AssetID returns the asset the contract escrows.
+	AssetID() AssetID
+	// StorageSize returns the bytes this contract occupies on-chain.
+	StorageSize() int
+	// Invoke applies one call and reports what the chain should do.
+	// Returning an error reverts the call: nothing is recorded.
+	Invoke(call Call) (Result, error)
+}
+
+// NoteKind classifies ledger records and observer notifications.
+type NoteKind int
+
+// Notification kinds.
+const (
+	// NoteAssetRegistered records an asset coming into existence.
+	NoteAssetRegistered NoteKind = iota + 1
+	// NoteContractPublished records a contract (and its escrow) appearing.
+	NoteContractPublished
+	// NoteInvocation records a successful contract call.
+	NoteInvocation
+	// NoteTransfer records the escrowed asset changing owner (claim or
+	// refund); it accompanies the NoteInvocation that caused it.
+	NoteTransfer
+	// NoteData records a bare data publication (market-clearing plans,
+	// the Phase Two broadcast optimization).
+	NoteData
+)
+
+var noteNames = map[NoteKind]string{
+	NoteAssetRegistered:   "asset-registered",
+	NoteContractPublished: "contract-published",
+	NoteInvocation:        "invocation",
+	NoteTransfer:          "transfer",
+	NoteData:              "data",
+}
+
+// String returns the note-kind name.
+func (k NoteKind) String() string {
+	if s, ok := noteNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("note(%d)", int(k))
+}
+
+// Notification is delivered to chain observers on every recorded state
+// change. Observers see it after the runner's modeled latency, never
+// before the change is on the ledger.
+type Notification struct {
+	Chain    string
+	At       vtime.Ticks
+	Kind     NoteKind
+	Contract ContractID
+	Method   string
+	Sender   PartyID
+	Event    any
+	Note     string
+}
+
+// Record is one entry of the append-only ledger. Records are hash-chained:
+// each record's hash covers its content and the previous hash, which is
+// what makes the ledger tamper-evident.
+type Record struct {
+	Seq      int
+	At       vtime.Ticks
+	Kind     NoteKind
+	Contract ContractID
+	Sender   PartyID
+	Size     int
+	Note     string
+	PrevHash [32]byte
+	Hash     [32]byte
+}
+
+// Errors returned by chain operations.
+var (
+	ErrUnknownAsset     = errors.New("chain: unknown asset")
+	ErrDuplicateAsset   = errors.New("chain: asset already registered")
+	ErrNotOwner         = errors.New("chain: sender does not own the asset")
+	ErrDuplicateID      = errors.New("chain: contract ID already in use")
+	ErrUnknownContract  = errors.New("chain: unknown contract")
+	ErrContractClosed   = errors.New("chain: contract already settled")
+	ErrContractAssetGap = errors.New("chain: contract references an unregistered asset")
+)
+
+// Chain is one mock blockchain. Create with New. Chain is safe for
+// concurrent use; under the discrete-event runner all access is
+// single-threaded anyway.
+type Chain struct {
+	name  string
+	clock vtime.Clock
+
+	mu        sync.Mutex
+	assets    map[AssetID]Asset
+	owners    map[AssetID]Owner
+	contracts map[ContractID]Contract
+	closed    map[ContractID]bool
+	records   []Record
+	storage   int
+	observer  func(Notification)
+}
+
+// New creates an empty chain with the given name, reading timestamps from
+// clock.
+func New(name string, clock vtime.Clock) *Chain {
+	return &Chain{
+		name:      name,
+		clock:     clock,
+		assets:    make(map[AssetID]Asset),
+		owners:    make(map[AssetID]Owner),
+		contracts: make(map[ContractID]Contract),
+		closed:    make(map[ContractID]bool),
+	}
+}
+
+// Name returns the chain name.
+func (c *Chain) Name() string { return c.name }
+
+// SetObserver registers the single observer callback, invoked synchronously
+// (at ledger time) for every recorded change. The runner fans out to
+// watching parties with the modeled Δ latency.
+func (c *Chain) SetObserver(fn func(Notification)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observer = fn
+}
+
+// RegisterAsset mints an asset owned by the given party.
+func (c *Chain) RegisterAsset(a Asset, owner PartyID) error {
+	c.mu.Lock()
+	if _, ok := c.assets[a.ID]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicateAsset, a.ID)
+	}
+	c.assets[a.ID] = a
+	c.owners[a.ID] = ByParty(owner)
+	n := c.appendLocked(NoteAssetRegistered, "", owner, len(a.ID)+len(a.Description)+8,
+		fmt.Sprintf("asset %s -> %s", a.ID, owner), nil)
+	c.mu.Unlock()
+	c.emit(n)
+	return nil
+}
+
+// Asset returns a registered asset.
+func (c *Chain) Asset(id AssetID) (Asset, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.assets[id]
+	return a, ok
+}
+
+// OwnerOf returns the current owner of an asset.
+func (c *Chain) OwnerOf(id AssetID) (Owner, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.owners[id]
+	return o, ok
+}
+
+// PublishContract publishes a contract: the sender must own the contract's
+// asset, which moves into escrow under the contract. The contract's
+// storage size is charged to the chain.
+func (c *Chain) PublishContract(sender PartyID, contract Contract) error {
+	c.mu.Lock()
+	id := contract.ContractID()
+	if _, ok := c.contracts[id]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	assetID := contract.AssetID()
+	if _, ok := c.assets[assetID]; !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrContractAssetGap, assetID)
+	}
+	owner := c.owners[assetID]
+	if owner.Kind != OwnerParty || owner.Party != sender {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: asset %s owned by %s, publish attempted by %s",
+			ErrNotOwner, assetID, owner, sender)
+	}
+	if contract.Party() != sender {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: contract names party %s, published by %s",
+			ErrNotOwner, contract.Party(), sender)
+	}
+	c.contracts[id] = contract
+	c.owners[assetID] = ByEscrow(id)
+	n := c.appendLocked(NoteContractPublished, id, sender, contract.StorageSize(),
+		fmt.Sprintf("escrow %s", assetID), contract)
+	c.mu.Unlock()
+	c.emit(n)
+	return nil
+}
+
+// Contract returns a published contract.
+func (c *Chain) Contract(id ContractID) (Contract, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ct, ok := c.contracts[id]
+	return ct, ok
+}
+
+// Closed reports whether a contract has settled (claimed or refunded).
+func (c *Chain) Closed(id ContractID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed[id]
+}
+
+// Invoke calls a contract method. Errors from the contract revert the
+// call: nothing is recorded or charged and no notification is sent.
+func (c *Chain) Invoke(sender PartyID, id ContractID, method string, args any, argsSize int) error {
+	c.mu.Lock()
+	contract, ok := c.contracts[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownContract, id)
+	}
+	if c.closed[id] {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrContractClosed, id)
+	}
+	res, err := contract.Invoke(Call{
+		Method:   method,
+		Sender:   sender,
+		Now:      c.clock.Now(),
+		Args:     args,
+		ArgsSize: argsSize,
+	})
+	if err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("chain %s: %s.%s: %w", c.name, id, method, err)
+	}
+	notes := []Notification{c.appendLocked(NoteInvocation, id, sender, argsSize, method+": "+res.Note, res.Event)}
+	if res.Transfer != nil {
+		assetID := contract.AssetID()
+		c.owners[assetID] = *res.Transfer
+		c.closed[id] = true
+		notes = append(notes, c.appendLocked(NoteTransfer, id, sender, 0,
+			fmt.Sprintf("asset %s -> %s", assetID, *res.Transfer), nil))
+	}
+	c.mu.Unlock()
+	c.emit(notes...)
+	return nil
+}
+
+// Transfer moves an asset the sender owns directly to another party — an
+// ordinary unconditional payment, used by the non-atomic baseline
+// protocols. Escrowed assets cannot be transferred directly.
+func (c *Chain) Transfer(sender PartyID, asset AssetID, to PartyID) error {
+	c.mu.Lock()
+	if _, ok := c.assets[asset]; !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownAsset, asset)
+	}
+	owner := c.owners[asset]
+	if owner.Kind != OwnerParty || owner.Party != sender {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: asset %s owned by %s, transfer attempted by %s",
+			ErrNotOwner, asset, owner, sender)
+	}
+	c.owners[asset] = ByParty(to)
+	n := c.appendLocked(NoteTransfer, "", sender, transferRecordBytes,
+		fmt.Sprintf("asset %s -> %s", asset, to), nil)
+	c.mu.Unlock()
+	c.emit(n)
+	return nil
+}
+
+// transferRecordBytes is the modeled ledger cost of a plain transfer.
+const transferRecordBytes = 16
+
+// PublishData appends a bare data record (no contract), e.g. a clearing
+// plan or a broadcast secret.
+func (c *Chain) PublishData(sender PartyID, note string, payload any, size int) {
+	c.mu.Lock()
+	n := c.appendLocked(NoteData, "", sender, size, note, payload)
+	c.mu.Unlock()
+	c.emit(n)
+}
+
+// emit delivers notifications to the observer outside the chain lock, so
+// observers may freely read chain state.
+func (c *Chain) emit(notes ...Notification) {
+	c.mu.Lock()
+	observer := c.observer
+	c.mu.Unlock()
+	if observer == nil {
+		return
+	}
+	for _, n := range notes {
+		observer(n)
+	}
+}
+
+// appendLocked adds a hash-chained record and returns the notification to
+// emit once the lock is released. The caller must hold c.mu.
+func (c *Chain) appendLocked(kind NoteKind, id ContractID, sender PartyID, size int, note string, event any) Notification {
+	var prev [32]byte
+	if n := len(c.records); n > 0 {
+		prev = c.records[n-1].Hash
+	}
+	rec := Record{
+		Seq:      len(c.records),
+		At:       c.clock.Now(),
+		Kind:     kind,
+		Contract: id,
+		Sender:   sender,
+		Size:     size,
+		Note:     note,
+		PrevHash: prev,
+	}
+	rec.Hash = hashRecord(rec)
+	c.records = append(c.records, rec)
+	c.storage += size
+	return Notification{
+		Chain:    c.name,
+		At:       rec.At,
+		Kind:     kind,
+		Contract: id,
+		Method:   note,
+		Sender:   sender,
+		Event:    event,
+		Note:     note,
+	}
+}
+
+func hashRecord(r Record) [32]byte {
+	h := sha256.New()
+	h.Write(r.PrevHash[:])
+	fmt.Fprintf(h, "%d|%d|%d|%s|%s|%d|%s", r.Seq, int64(r.At), int(r.Kind), r.Contract, r.Sender, r.Size, r.Note)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Records returns a copy of the ledger.
+func (c *Chain) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// VerifyLedger recomputes the hash chain and reports whether it is intact.
+func (c *Chain) VerifyLedger() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var prev [32]byte
+	for _, r := range c.records {
+		if r.PrevHash != prev {
+			return false
+		}
+		if hashRecord(r) != r.Hash {
+			return false
+		}
+		prev = r.Hash
+	}
+	return true
+}
+
+// StorageBytes returns the total bytes charged to this chain.
+func (c *Chain) StorageBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.storage
+}
+
+// Snapshot returns the current asset-ownership map, for conservation
+// checks in tests.
+func (c *Chain) Snapshot() map[AssetID]Owner {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[AssetID]Owner, len(c.owners))
+	for k, v := range c.owners {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package chain
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// Registry is the set of chains a swap spans — one per asset class, or one
+// per arc; the protocol does not care. It provides the cross-chain
+// aggregates the experiments measure.
+type Registry struct {
+	clock vtime.Clock
+
+	mu     sync.Mutex
+	chains map[string]*Chain
+}
+
+// NewRegistry creates an empty registry whose chains share the clock.
+func NewRegistry(clock vtime.Clock) *Registry {
+	return &Registry{clock: clock, chains: make(map[string]*Chain)}
+}
+
+// Chain returns the named chain, creating it on first use.
+func (r *Registry) Chain(name string) *Chain {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.chains[name]
+	if !ok {
+		c = New(name, r.clock)
+		r.chains[name] = c
+	}
+	return c
+}
+
+// Names returns the sorted chain names.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.chains))
+	for n := range r.chains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalStorageBytes sums storage across all chains — the quantity bounded
+// by Theorem 4.10.
+func (r *Registry) TotalStorageBytes() int {
+	total := 0
+	for _, name := range r.Names() {
+		total += r.Chain(name).StorageBytes()
+	}
+	return total
+}
+
+// SetObserverAll installs the observer on every existing chain and
+// remembers nothing: call it after all chains are created, or create
+// chains up front.
+func (r *Registry) SetObserverAll(fn func(Notification)) {
+	for _, name := range r.Names() {
+		r.Chain(name).SetObserver(fn)
+	}
+}
+
+// VerifyAllLedgers reports whether every chain's hash chain is intact.
+func (r *Registry) VerifyAllLedgers() bool {
+	for _, name := range r.Names() {
+		if !r.Chain(name).VerifyLedger() {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns ownership across all chains keyed by chain name.
+func (r *Registry) Snapshot() map[string]map[AssetID]Owner {
+	out := make(map[string]map[AssetID]Owner)
+	for _, name := range r.Names() {
+		out[name] = r.Chain(name).Snapshot()
+	}
+	return out
+}

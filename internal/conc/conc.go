@@ -1,0 +1,484 @@
+// Package conc runs the swap protocol concurrently: each party is its own
+// goroutine, the mock chains are shared thread-safe state, and virtual
+// ticks map onto real (scaled) wall-clock time. The party logic is the
+// same core.Behavior implementation the deterministic simulator drives —
+// the point of this runtime is demonstrating that the protocol engine is
+// runtime-agnostic and race-free.
+//
+// Runs are not tick-deterministic (real scheduling jitter exists below
+// the Δ scale), so tests assert outcomes rather than traces. Pick a tick
+// duration comfortably above scheduler noise; DefaultTick works on an
+// ordinary machine.
+package conc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/hashkey"
+	"github.com/go-atomicswap/atomicswap/internal/htlc"
+	"github.com/go-atomicswap/atomicswap/internal/outcome"
+	"github.com/go-atomicswap/atomicswap/internal/trace"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// DefaultTick is the default wall duration of one virtual tick.
+const DefaultTick = 2 * time.Millisecond
+
+// Config parameterizes a concurrent run.
+type Config struct {
+	// Tick is the wall duration of one virtual tick (DefaultTick if 0).
+	Tick time.Duration
+	// ExtraDelta pads the run horizon beyond spec.Horizon(), in Δ (2 if 0).
+	ExtraDelta int
+}
+
+// Result reports a finished concurrent run.
+type Result struct {
+	Triggered map[int]bool
+	Report    *outcome.Report
+	Registry  *chain.Registry
+	Log       *trace.Log
+}
+
+// wallClock converts elapsed wall time to virtual ticks.
+type wallClock struct {
+	start time.Time
+	tick  time.Duration
+}
+
+func (c *wallClock) Now() vtime.Ticks {
+	return vtime.Ticks(time.Since(c.start) / c.tick)
+}
+
+func (c *wallClock) until(t vtime.Ticks) time.Duration {
+	return time.Until(c.start.Add(time.Duration(t) * c.tick))
+}
+
+// Run executes the setup with every party on its own goroutine. Behaviors
+// defaults to the conforming implementation per vertex; entries override.
+func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Config) (*Result, error) {
+	if cfg.Tick <= 0 {
+		cfg.Tick = DefaultTick
+	}
+	if cfg.ExtraDelta <= 0 {
+		cfg.ExtraDelta = 2
+	}
+	spec := setup.Spec
+	spec.Precompute()
+
+	r := &runner{
+		setup:    setup,
+		spec:     spec,
+		clock:    &wallClock{start: time.Now(), tick: cfg.Tick},
+		log:      &trace.Log{},
+		resolved: make(map[int]bool),
+		resClaim: make(map[int]bool),
+	}
+	r.reg = chain.NewRegistry(r.clock)
+	for id := 0; id < spec.D.NumArcs(); id++ {
+		aa := spec.Assets[id]
+		owner := spec.PartyOf(spec.D.Arc(id).Head)
+		if err := r.reg.Chain(aa.Chain).RegisterAsset(chain.Asset{
+			ID: aa.Asset, Amount: aa.Amount,
+		}, owner); err != nil {
+			return nil, fmt.Errorf("conc: registering assets: %w", err)
+		}
+	}
+	if spec.Broadcast {
+		r.reg.Chain(core.BroadcastChain)
+	}
+
+	horizon := spec.Horizon().Add(vtime.Scale(cfg.ExtraDelta, spec.Delta))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r.ctx = ctx
+
+	// One mailbox goroutine per party; all behavior callbacks and alarms
+	// run there, so behaviors stay single-threaded.
+	n := spec.D.NumVertices()
+	r.parties = make([]*party, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		b := behaviors[digraph.Vertex(v)]
+		if b == nil {
+			if spec.Kind == core.KindGeneral {
+				b = core.NewConforming()
+			} else {
+				b = core.NewConformingHTLC()
+			}
+		}
+		p := &party{
+			runner:   r,
+			vertex:   digraph.Vertex(v),
+			behavior: b,
+			mailbox:  make(chan func(), 1024),
+		}
+		r.parties[v] = p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.loop(ctx)
+		}()
+	}
+	r.reg.SetObserverAll(r.onNote)
+
+	// Start everyone at T−Δ (leaders deploy ahead; see core.Runner).
+	initAt := spec.Start.Add(-vtime.Duration(spec.Delta))
+	for _, p := range r.parties {
+		p := p
+		r.after(initAt, func() {
+			p.deliver(func() { p.behavior.Init(p.env()) })
+		})
+	}
+
+	// Let the protocol play out to the horizon, then stop the parties.
+	timer := time.NewTimer(r.clock.until(horizon))
+	defer timer.Stop()
+	<-timer.C
+	cancel()
+	wg.Wait()
+
+	return r.buildResult(), nil
+}
+
+type runner struct {
+	setup *core.Setup
+	spec  *core.Spec
+	clock *wallClock
+	reg   *chain.Registry
+	log   *trace.Log
+	ctx   context.Context
+
+	parties []*party
+
+	mu       sync.Mutex
+	resolved map[int]bool
+	resClaim map[int]bool
+}
+
+// after schedules fn at virtual tick t on the wall clock.
+func (r *runner) after(t vtime.Ticks, fn func()) {
+	d := r.clock.until(t)
+	if d < 0 {
+		d = 0
+	}
+	timer := time.AfterFunc(d, fn)
+	// Let the context reap outstanding timers.
+	go func() {
+		<-r.ctx.Done()
+		timer.Stop()
+	}()
+}
+
+func (r *runner) setResolved(arcID int, claimed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resolved[arcID] = true
+	r.resClaim[arcID] = claimed
+}
+
+func (r *runner) getResolved(arcID int) (bool, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resolved[arcID], r.resClaim[arcID]
+}
+
+// onNote fans chain notifications out to the incident parties within Δ,
+// mirroring core.Runner.onNote. Unlike the simulator — which realizes the
+// worst case exactly and leans on inclusive deadlines — real scheduling
+// adds jitter on top of the delivery target, so targets sit one tick
+// inside the Δ bound (detection is strictly within Δ, as the paper's
+// model allows).
+func (r *runner) onNote(n chain.Notification) {
+	delta := vtime.Duration(r.spec.Delta)
+	if delta > 1 {
+		delta--
+	}
+	deliverIncident := func(arcID int, fn func(core.Behavior, core.Env)) {
+		arc := r.spec.D.Arc(arcID)
+		at := n.At.Add(delta)
+		for _, v := range []digraph.Vertex{arc.Head, arc.Tail} {
+			p := r.parties[v]
+			r.after(at, func() {
+				p.deliver(func() { fn(p.behavior, p.env()) })
+			})
+		}
+	}
+	switch n.Kind {
+	case chain.NoteContractPublished:
+		c, ok := n.Event.(chain.Contract)
+		if !ok {
+			return
+		}
+		switch ct := c.(type) {
+		case *htlc.Swap:
+			deliverIncident(ct.ArcID(), func(b core.Behavior, e core.Env) { b.OnContract(e, ct.ArcID(), c) })
+		case *htlc.HTLC:
+			deliverIncident(ct.ArcID(), func(b core.Behavior, e core.Env) { b.OnContract(e, ct.ArcID(), c) })
+		}
+	case chain.NoteInvocation:
+		switch ev := n.Event.(type) {
+		case htlc.UnlockedEvent:
+			deliverIncident(ev.ArcID, func(b core.Behavior, e core.Env) {
+				b.OnUnlock(e, ev.ArcID, ev.LockIndex, ev.Key)
+			})
+		case htlc.RedeemedEvent:
+			deliverIncident(ev.ArcID, func(b core.Behavior, e core.Env) {
+				b.OnRedeem(e, ev.ArcID, ev.Secret)
+			})
+		}
+	case chain.NoteTransfer:
+		ch := r.reg.Chain(n.Chain)
+		c, ok := ch.Contract(n.Contract)
+		if !ok {
+			return
+		}
+		var arcID int
+		var counter chain.PartyID
+		switch ct := c.(type) {
+		case *htlc.Swap:
+			arcID, counter = ct.ArcID(), ct.Params().Counter
+		case *htlc.HTLC:
+			arcID, counter = ct.ArcID(), ct.Params().Counter
+		default:
+			return
+		}
+		owner, _ := ch.OwnerOf(c.AssetID())
+		claimed := owner == chain.ByParty(counter)
+		r.setResolved(arcID, claimed)
+		deliverIncident(arcID, func(b core.Behavior, e core.Env) { b.OnSettled(e, arcID, claimed) })
+	case chain.NoteData:
+		if n.Chain != core.BroadcastChain {
+			return
+		}
+		msg, ok := n.Event.(core.BroadcastMsg)
+		if !ok {
+			return
+		}
+		at := n.At.Add(delta)
+		for _, p := range r.parties {
+			p := p
+			r.after(at, func() {
+				p.deliver(func() { p.behavior.OnBroadcast(p.env(), msg.LockIndex, msg.Key) })
+			})
+		}
+	}
+}
+
+func (r *runner) buildResult() *Result {
+	spec := r.spec
+	triggered := make(map[int]bool, spec.D.NumArcs())
+	for id := 0; id < spec.D.NumArcs(); id++ {
+		if settled, claimed := r.getResolved(id); settled {
+			triggered[id] = claimed
+			continue
+		}
+		c, ok := r.reg.Chain(spec.Assets[id].Chain).Contract(spec.ContractID(id))
+		if !ok {
+			continue
+		}
+		if sw, ok := c.(*htlc.Swap); ok && sw.AllUnlocked() {
+			triggered[id] = true
+		}
+	}
+	return &Result{
+		Triggered: triggered,
+		Report:    outcome.NewReport(spec.D, triggered),
+		Registry:  r.reg,
+		Log:       r.log,
+	}
+}
+
+// party is one goroutine-backed participant.
+type party struct {
+	runner    *runner
+	vertex    digraph.Vertex
+	behavior  core.Behavior
+	mailbox   chan func()
+	abandoned bool // touched only on the party goroutine
+}
+
+func (p *party) loop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case fn := <-p.mailbox:
+			fn()
+		}
+	}
+}
+
+// deliver enqueues fn onto the party goroutine, dropping it on shutdown.
+// Abandoned parties ignore everything except their own alarms (which the
+// env wraps before delivery).
+func (p *party) deliver(fn func()) {
+	wrapped := func() {
+		if p.abandoned {
+			return
+		}
+		fn()
+	}
+	select {
+	case p.mailbox <- wrapped:
+	case <-p.runner.ctx.Done():
+	}
+}
+
+// deliverAlarm enqueues fn bypassing the abandon gate (refund alarms keep
+// running for abandoned parties, as in the simulator runtime).
+func (p *party) deliverAlarm(fn func()) {
+	select {
+	case p.mailbox <- fn:
+	case <-p.runner.ctx.Done():
+	}
+}
+
+func (p *party) env() core.Env { return &concEnv{p: p} }
+
+// concEnv implements core.Env against real chains and the wall clock.
+type concEnv struct {
+	p *party
+}
+
+var _ core.Env = (*concEnv)(nil)
+
+func (e *concEnv) Now() vtime.Ticks       { return e.p.runner.clock.Now() }
+func (e *concEnv) Spec() *core.Spec       { return e.p.runner.spec }
+func (e *concEnv) Vertex() digraph.Vertex { return e.p.vertex }
+func (e *concEnv) Party() chain.PartyID   { return e.p.runner.spec.PartyOf(e.p.vertex) }
+func (e *concEnv) Signer() *hashkey.Signer {
+	return e.p.runner.setup.Signers[e.p.vertex]
+}
+
+func (e *concEnv) Secret() (hashkey.Secret, int, bool) {
+	idx, ok := e.p.runner.spec.LeaderIndex(e.p.vertex)
+	if !ok {
+		return hashkey.Secret{}, 0, false
+	}
+	return e.p.runner.setup.Secrets[idx], idx, true
+}
+
+func (e *concEnv) chainOf(arcID int) *chain.Chain {
+	return e.p.runner.reg.Chain(e.p.runner.spec.Assets[arcID].Chain)
+}
+
+func (e *concEnv) Contract(arcID int) (chain.Contract, bool) {
+	return e.chainOf(arcID).Contract(e.p.runner.spec.ContractID(arcID))
+}
+
+func (e *concEnv) Resolved(arcID int) (bool, bool) {
+	return e.p.runner.getResolved(arcID)
+}
+
+func (e *concEnv) Publish(arcID int) error {
+	spec := e.p.runner.spec
+	if spec.Kind == core.KindGeneral {
+		return e.PublishSwapParams(spec.ContractParams(arcID))
+	}
+	h, err := htlc.NewHTLC(spec.HTLCParams(arcID))
+	if err != nil {
+		return err
+	}
+	if err := e.chainOf(arcID).PublishContract(e.Party(), h); err != nil {
+		return err
+	}
+	e.Note(trace.KindContractPublished, arcID, -1, "")
+	return nil
+}
+
+func (e *concEnv) PublishSwapParams(p htlc.SwapParams) error {
+	sw, err := htlc.NewSwap(p)
+	if err != nil {
+		return err
+	}
+	if err := e.chainOf(p.ArcID).PublishContract(e.Party(), sw); err != nil {
+		return err
+	}
+	e.Note(trace.KindContractPublished, p.ArcID, -1, "")
+	return nil
+}
+
+func (e *concEnv) Unlock(arcID, lockIdx int, key hashkey.Hashkey) error {
+	args := htlc.UnlockArgs{LockIndex: lockIdx, Key: key}
+	err := e.chainOf(arcID).Invoke(e.Party(), e.p.runner.spec.ContractID(arcID),
+		htlc.MethodUnlock, args, args.WireSize())
+	if err == nil {
+		e.Note(trace.KindUnlocked, arcID, lockIdx, "")
+	}
+	return err
+}
+
+func (e *concEnv) Redeem(arcID int, secret hashkey.Secret) error {
+	args := htlc.RedeemArgs{Secret: secret}
+	err := e.chainOf(arcID).Invoke(e.Party(), e.p.runner.spec.ContractID(arcID),
+		htlc.MethodRedeem, args, args.WireSize())
+	if err == nil {
+		e.Note(trace.KindClaimed, arcID, -1, "redeemed")
+	}
+	return err
+}
+
+func (e *concEnv) Claim(arcID int) error {
+	id := e.p.runner.spec.ContractID(arcID)
+	if e.chainOf(arcID).Closed(id) {
+		return chain.ErrContractClosed
+	}
+	err := e.chainOf(arcID).Invoke(e.Party(), id, htlc.MethodClaim, nil, 16)
+	if err == nil {
+		e.Note(trace.KindClaimed, arcID, -1, "")
+	}
+	return err
+}
+
+func (e *concEnv) Refund(arcID int) error {
+	id := e.p.runner.spec.ContractID(arcID)
+	if e.chainOf(arcID).Closed(id) {
+		return chain.ErrContractClosed
+	}
+	err := e.chainOf(arcID).Invoke(e.Party(), id, htlc.MethodRefund, nil, 16)
+	if err == nil {
+		e.Note(trace.KindRefunded, arcID, -1, "")
+	}
+	return err
+}
+
+func (e *concEnv) Broadcast(lockIdx int, key hashkey.Hashkey) {
+	if !e.p.runner.spec.Broadcast {
+		return
+	}
+	e.p.runner.reg.Chain(core.BroadcastChain).PublishData(e.Party(),
+		fmt.Sprintf("secret for lock %d", lockIdx),
+		core.BroadcastMsg{LockIndex: lockIdx, Key: key}, key.WireSize())
+	e.Note(trace.KindBroadcast, -1, lockIdx, "")
+}
+
+func (e *concEnv) At(t vtime.Ticks, fn func()) {
+	p := e.p
+	p.runner.after(t, func() { p.deliverAlarm(fn) })
+}
+
+func (e *concEnv) Abandon(reason string) {
+	if e.p.abandoned {
+		return
+	}
+	e.p.abandoned = true
+	e.Note(trace.KindAbandoned, -1, -1, reason)
+}
+
+func (e *concEnv) Note(kind trace.Kind, arcID, lockIdx int, detail string) {
+	e.p.runner.log.Append(trace.Event{
+		At:     e.p.runner.clock.Now(),
+		Kind:   kind,
+		Party:  string(e.Party()),
+		Arc:    arcID,
+		Lock:   lockIdx,
+		Detail: detail,
+	})
+}

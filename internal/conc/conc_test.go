@@ -1,0 +1,102 @@
+package conc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/adversary"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/graphgen"
+	"github.com/go-atomicswap/atomicswap/internal/outcome"
+)
+
+// tick is generous relative to goroutine scheduling noise so Δ ordering
+// holds even on loaded CI machines.
+const tick = 5 * time.Millisecond
+
+func concSetup(t *testing.T, d *digraph.Digraph, cfg core.Config) *core.Setup {
+	t.Helper()
+	if cfg.Rand == nil {
+		cfg.Rand = rand.New(rand.NewSource(3))
+	}
+	setup, err := core.NewSetup(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return setup
+}
+
+func TestConcurrentThreeWayAllDeal(t *testing.T) {
+	setup := concSetup(t, graphgen.ThreeWay(), core.Config{})
+	res, err := Run(setup, nil, Config{Tick: tick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.AllDeal() {
+		t.Log("\n" + res.Log.Render())
+		t.Fatal("concurrent three-way swap should end AllDeal")
+	}
+	if !res.Registry.VerifyAllLedgers() {
+		t.Error("ledgers must verify")
+	}
+}
+
+func TestConcurrentTwoLeaderAllDeal(t *testing.T) {
+	setup := concSetup(t, graphgen.TwoLeaderTriangle(), core.Config{})
+	res, err := Run(setup, nil, Config{Tick: tick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.AllDeal() {
+		t.Log("\n" + res.Log.Render())
+		t.Fatal("concurrent two-leader swap should end AllDeal")
+	}
+}
+
+func TestConcurrentSingleLeaderVariant(t *testing.T) {
+	setup := concSetup(t, graphgen.ThreeWay(), core.Config{Kind: core.KindSingleLeader})
+	res, err := Run(setup, nil, Config{Tick: tick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.AllDeal() {
+		t.Log("\n" + res.Log.Render())
+		t.Fatal("concurrent single-leader swap should end AllDeal")
+	}
+}
+
+func TestConcurrentBroadcast(t *testing.T) {
+	setup := concSetup(t, graphgen.Cycle(5), core.Config{Broadcast: true})
+	res, err := Run(setup, nil, Config{Tick: tick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.AllDeal() {
+		t.Log("\n" + res.Log.Render())
+		t.Fatal("concurrent broadcast swap should end AllDeal")
+	}
+}
+
+func TestConcurrentHaltedPartySafe(t *testing.T) {
+	setup := concSetup(t, graphgen.ThreeWay(), core.Config{})
+	behaviors := map[digraph.Vertex]core.Behavior{
+		1: adversary.HaltAt(core.NewConforming(), 0),
+	}
+	res, err := Run(setup, behaviors, Config{Tick: tick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conforming parties (0 and 2) must not be Underwater; with Bob dead
+	// from the start everyone should simply refund to NoDeal.
+	for _, v := range []digraph.Vertex{0, 2} {
+		if got := res.Report.Of(v); got == outcome.Underwater {
+			t.Log("\n" + res.Log.Render())
+			t.Fatalf("conforming %d Underwater in concurrent run", v)
+		}
+	}
+	if res.Report.AllDeal() {
+		t.Error("swap should not complete with a dead party")
+	}
+}

@@ -1,0 +1,472 @@
+// Package core implements the paper's contribution: the general atomic
+// cross-chain swap protocol of Section 4. A Spec pins everything the
+// parties must agree on (the digraph, the leaders and their hashlocks, Δ,
+// the start time, the diameter bound, the per-arc/per-lock timelock
+// vectors); Behaviors are the party state machines (the conforming
+// protocol lives in behavior.go, deviations in the adversary package);
+// the Runner wires parties, mock chains, and the discrete-event scheduler
+// together and reports outcomes, timing, storage, and communication.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/hashkey"
+	"github.com/go-atomicswap/atomicswap/internal/htlc"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// Kind selects the protocol variant a spec describes.
+type Kind int
+
+// Protocol variants.
+const (
+	// KindGeneral is the paper's main protocol (Section 4.5): hashlock
+	// vectors opened by path-signed hashkeys on Swap contracts.
+	KindGeneral Kind = iota + 1
+	// KindSingleLeader is the Section 4.6 special case: one leader,
+	// classic HTLCs with the timeout staircase
+	// (diam(D) + D(v, leader) + 1)·Δ. No signatures needed.
+	KindSingleLeader
+	// KindUniformTimeout is the deliberately broken baseline from the
+	// Section 1 discussion: classic HTLCs whose timeouts are all equal,
+	// vulnerable to the last-moment-reveal attack. It exists so the
+	// experiments can demonstrate why the staircase matters.
+	KindUniformTimeout
+)
+
+var kindNames = map[Kind]string{
+	KindGeneral:        "general",
+	KindSingleLeader:   "single-leader",
+	KindUniformTimeout: "uniform-timeout",
+}
+
+// String names the protocol variant.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// DefaultDelta is the default Δ in ticks. Ten ticks keep sub-Δ ordering
+// visible in traces.
+const DefaultDelta vtime.Duration = 10
+
+// ArcAsset names the asset an arc transfers and the chain it lives on.
+type ArcAsset struct {
+	Chain  string
+	Asset  chain.AssetID
+	Amount uint64
+}
+
+// Spec is the public swap plan: everything every party must agree on
+// before the protocol starts. The market-clearing service publishes it;
+// contract verification is a field-by-field comparison against it.
+type Spec struct {
+	Kind    Kind
+	D       *digraph.Digraph
+	Leaders []digraph.Vertex // sorted, one hashlock each
+	Locks   []hashkey.Lock   // Locks[i] belongs to Leaders[i]
+	Parties []chain.PartyID  // by vertex
+	Keys    hashkey.Directory
+	Assets  []ArcAsset // by arc ID
+	Start   vtime.Ticks
+	Delta   vtime.Duration
+	// DiamBound is the diameter bound all contracts use — exact diam(D)
+	// when computable, an upper bound otherwise. Safety holds for any
+	// consistently used upper bound.
+	DiamBound int
+	// Broadcast enables the Section 4.5 Phase Two optimization: leaders
+	// also publish their secrets on a shared broadcast chain, and
+	// contracts accept the virtual length-1 path (counterparty, leader).
+	Broadcast bool
+
+	// longestFrom caches longest-simple-path lengths per start vertex.
+	longestFrom map[digraph.Vertex][]int
+}
+
+// Validation errors.
+var (
+	ErrNotStronglyConnected = errors.New("core: digraph is not strongly connected (Theorem 3.5)")
+	ErrLeadersNotFVS        = errors.New("core: leaders are not a feedback vertex set (Theorem 4.12)")
+	ErrSpecShape            = errors.New("core: malformed spec")
+)
+
+// Validate checks the spec against the protocol's preconditions. With
+// allowUnsafe the game-theoretic preconditions (strong connectivity,
+// leaders forming an FVS) are skipped so the impossibility experiments can
+// run the protocol where the paper proves it cannot work.
+func (s *Spec) Validate(allowUnsafe bool) error {
+	if s.D == nil || s.D.NumVertices() < 2 || s.D.NumArcs() < 1 {
+		return fmt.Errorf("%w: need at least 2 vertexes and 1 arc", ErrSpecShape)
+	}
+	switch s.Kind {
+	case KindGeneral, KindSingleLeader, KindUniformTimeout:
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrSpecShape, int(s.Kind))
+	}
+	if len(s.Leaders) == 0 || len(s.Leaders) != len(s.Locks) {
+		return fmt.Errorf("%w: %d leaders, %d locks", ErrSpecShape, len(s.Leaders), len(s.Locks))
+	}
+	if s.Kind != KindGeneral && len(s.Leaders) != 1 {
+		return fmt.Errorf("%w: %s protocol needs exactly one leader", ErrSpecShape, s.Kind)
+	}
+	seen := make(map[digraph.Vertex]bool, len(s.Leaders))
+	for _, l := range s.Leaders {
+		if int(l) < 0 || int(l) >= s.D.NumVertices() {
+			return fmt.Errorf("%w: leader %d out of range", ErrSpecShape, l)
+		}
+		if seen[l] {
+			return fmt.Errorf("%w: duplicate leader %d", ErrSpecShape, l)
+		}
+		seen[l] = true
+	}
+	if len(s.Parties) != s.D.NumVertices() {
+		return fmt.Errorf("%w: %d party IDs for %d vertexes", ErrSpecShape, len(s.Parties), s.D.NumVertices())
+	}
+	ids := make(map[chain.PartyID]bool, len(s.Parties))
+	for v, p := range s.Parties {
+		if p == "" {
+			return fmt.Errorf("%w: vertex %d has empty party ID", ErrSpecShape, v)
+		}
+		if ids[p] {
+			return fmt.Errorf("%w: duplicate party ID %q", ErrSpecShape, p)
+		}
+		ids[p] = true
+		if _, ok := s.Keys[digraph.Vertex(v)]; !ok {
+			return fmt.Errorf("%w: no public key for vertex %d", ErrSpecShape, v)
+		}
+	}
+	if len(s.Assets) != s.D.NumArcs() {
+		return fmt.Errorf("%w: %d arc assets for %d arcs", ErrSpecShape, len(s.Assets), s.D.NumArcs())
+	}
+	assetSeen := make(map[string]bool, len(s.Assets))
+	for id, aa := range s.Assets {
+		if aa.Chain == "" || aa.Asset == "" {
+			return fmt.Errorf("%w: arc %d has empty chain or asset", ErrSpecShape, id)
+		}
+		key := aa.Chain + "/" + string(aa.Asset)
+		if assetSeen[key] {
+			return fmt.Errorf("%w: asset %s appears on two arcs", ErrSpecShape, key)
+		}
+		assetSeen[key] = true
+	}
+	if s.Delta <= 0 {
+		return fmt.Errorf("%w: delta %d must be positive", ErrSpecShape, s.Delta)
+	}
+	if s.Start < vtime.Ticks(s.Delta) {
+		// Leaders deploy ahead of T; the clearing service must announce a
+		// start "at least Δ in the future" (Section 4.2).
+		return fmt.Errorf("%w: start %d must be at least one delta (%d)", ErrSpecShape, s.Start, s.Delta)
+	}
+	if diam, exact := s.D.Diameter(); s.DiamBound < diam || (!exact && s.DiamBound < s.D.NumVertices()-1) {
+		return fmt.Errorf("%w: diameter bound %d below diameter %d", ErrSpecShape, s.DiamBound, diam)
+	}
+	if allowUnsafe {
+		return nil
+	}
+	if !s.D.StronglyConnected() {
+		return ErrNotStronglyConnected
+	}
+	if !s.D.IsFeedbackVertexSet(s.Leaders) {
+		return ErrLeadersNotFVS
+	}
+	return nil
+}
+
+// LeaderIndex returns v's hashlock index and whether v is a leader.
+func (s *Spec) LeaderIndex(v digraph.Vertex) (int, bool) {
+	for i, l := range s.Leaders {
+		if l == v {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// IsLeader reports whether v is a leader.
+func (s *Spec) IsLeader(v digraph.Vertex) bool {
+	_, ok := s.LeaderIndex(v)
+	return ok
+}
+
+// PartyOf returns the party ID of a vertex.
+func (s *Spec) PartyOf(v digraph.Vertex) chain.PartyID { return s.Parties[v] }
+
+// VertexOf returns the vertex of a party ID.
+func (s *Spec) VertexOf(p chain.PartyID) (digraph.Vertex, bool) {
+	for v, id := range s.Parties {
+		if id == p {
+			return digraph.Vertex(v), true
+		}
+	}
+	return 0, false
+}
+
+// ContractID returns the canonical contract identifier for an arc.
+func (s *Spec) ContractID(arcID int) chain.ContractID {
+	return chain.ContractID(fmt.Sprintf("arc%d@%s", arcID, s.Assets[arcID].Chain))
+}
+
+// BroadcastChain is the name of the shared chain used by the market
+// clearing service and the Phase Two broadcast optimization.
+const BroadcastChain = "broadcast"
+
+// Precompute fills the longest-path cache for every vertex. NewSetup
+// calls it so a finished Spec is read-only and safe for concurrent use
+// (the goroutine runtime shares one Spec across parties).
+func (s *Spec) Precompute() {
+	for _, v := range s.D.Vertices() {
+		s.longestPathsFrom(v)
+	}
+}
+
+// longestPathsFrom returns (caching) the longest-simple-path lengths from v.
+func (s *Spec) longestPathsFrom(v digraph.Vertex) []int {
+	if s.longestFrom == nil {
+		s.longestFrom = make(map[digraph.Vertex][]int)
+	}
+	if got, ok := s.longestFrom[v]; ok {
+		return got
+	}
+	best, _ := s.D.LongestPathsFrom(v)
+	s.longestFrom[v] = best
+	return best
+}
+
+// maxPathTo returns the longest-simple-path length from v to leader index
+// i, clamped to the diameter bound (and to the bound when inexact or
+// unreachable — a safe over-approximation).
+func (s *Spec) maxPathTo(v digraph.Vertex, i int) int {
+	best := s.longestPathsFrom(v)
+	p := best[s.Leaders[i]]
+	if p < 0 || p > s.DiamBound {
+		return s.DiamBound
+	}
+	return p
+}
+
+// Timelocks returns the per-lock absolute deadlines for an arc's Swap
+// contract: Start + (DiamBound + maxpath(tail, leader_i))·Δ. A hashkey for
+// lock i presented on this arc can never be valid after Timelocks[i], so
+// the contract is refundable once a lock is still closed strictly after it.
+func (s *Spec) Timelocks(arcID int) []vtime.Ticks {
+	tail := s.D.Arc(arcID).Tail
+	out := make([]vtime.Ticks, len(s.Leaders))
+	for i := range s.Leaders {
+		out[i] = s.Start.Add(vtime.Scale(s.DiamBound+s.maxPathTo(tail, i), s.Delta))
+	}
+	return out
+}
+
+// HTLCTimeout returns the single absolute timeout for an arc's classic
+// HTLC under the single-leader or uniform-timeout variants.
+func (s *Spec) HTLCTimeout(arcID int) vtime.Ticks {
+	switch s.Kind {
+	case KindSingleLeader:
+		// (diam(D) + D(v, leader) + 1)·Δ, Lemma 4.13's staircase. The
+		// follower subdigraph is acyclic (leader is an FVS), so the exact
+		// polynomial computation applies at any scale.
+		leader := s.Leaders[0]
+		tail := s.D.Arc(arcID).Tail
+		dist, ok := s.D.LongestPathsToSink(leader)
+		d := s.DiamBound
+		if ok && dist[tail] >= 0 && dist[tail] <= s.DiamBound {
+			d = dist[tail]
+		}
+		return s.Start.Add(vtime.Scale(s.DiamBound+d+1, s.Delta))
+	default:
+		// Uniform: every arc expires together — the Section 1 mistake. The
+		// value is generous enough for all-conforming runs to finish, so
+		// only the last-moment-reveal attack exposes the flaw.
+		return s.Start.Add(vtime.Scale(2*s.DiamBound+1, s.Delta))
+	}
+}
+
+// ContractParams returns the canonical Swap-contract parameters for an
+// arc. Followers verify published contracts against these (Phase One's
+// "verifies that contract is a correct swap contract").
+func (s *Spec) ContractParams(arcID int) htlc.SwapParams {
+	arc := s.D.Arc(arcID)
+	return htlc.SwapParams{
+		ID:        s.ContractID(arcID),
+		ArcID:     arcID,
+		Digraph:   s.D,
+		Leaders:   append([]digraph.Vertex(nil), s.Leaders...),
+		Locks:     append([]hashkey.Lock(nil), s.Locks...),
+		Timelocks: s.Timelocks(arcID),
+		Party:     s.Parties[arc.Head],
+		PartyV:    arc.Head,
+		Counter:   s.Parties[arc.Tail],
+		CounterV:  arc.Tail,
+		Asset:     s.Assets[arcID].Asset,
+		Start:     s.Start,
+		Delta:     s.Delta,
+		DiamBound: s.DiamBound,
+		Directory: s.Keys,
+		Broadcast: s.Broadcast,
+	}
+}
+
+// HTLCParams returns the canonical classic-HTLC parameters for an arc
+// under the single-leader and uniform-timeout variants.
+func (s *Spec) HTLCParams(arcID int) htlc.HTLCParams {
+	arc := s.D.Arc(arcID)
+	return htlc.HTLCParams{
+		ID:      s.ContractID(arcID),
+		ArcID:   arcID,
+		Lock:    s.Locks[0],
+		Timeout: s.HTLCTimeout(arcID),
+		Party:   s.Parties[arc.Head],
+		Counter: s.Parties[arc.Tail],
+		Asset:   s.Assets[arcID].Asset,
+	}
+}
+
+// MaxTimelock returns the latest deadline any contract of this swap can
+// reach — by when every conforming party's assets are settled or
+// refundable.
+func (s *Spec) MaxTimelock() vtime.Ticks {
+	max := s.Start
+	for id := 0; id < s.D.NumArcs(); id++ {
+		switch s.Kind {
+		case KindGeneral:
+			for _, tl := range s.Timelocks(id) {
+				if tl.After(max) {
+					max = tl
+				}
+			}
+		default:
+			if tl := s.HTLCTimeout(id); tl.After(max) {
+				max = tl
+			}
+		}
+	}
+	return max
+}
+
+// Horizon returns the tick by which a run is certainly quiescent: the max
+// timelock plus detection and settlement slack.
+func (s *Spec) Horizon() vtime.Ticks {
+	return s.MaxTimelock().Add(vtime.Scale(4, s.Delta))
+}
+
+// Setup couples the public Spec with the private material a simulation
+// needs to play every party: signing keys per vertex and the leaders'
+// secrets. A real deployment would never hold these in one place; the
+// experiments must.
+type Setup struct {
+	Spec    *Spec
+	Signers []*hashkey.Signer // by vertex
+	Secrets []hashkey.Secret  // by leader index
+}
+
+// Config parameterizes NewSetup. The zero value picks sensible defaults:
+// minimum-FVS leaders, Δ = DefaultDelta, start at Δ, vertex names as party
+// IDs, one chain and one asset per arc.
+type Config struct {
+	Kind        Kind             // default KindGeneral
+	Leaders     []digraph.Vertex // default: exact-min FVS (greedy when large)
+	Delta       vtime.Duration   // default DefaultDelta
+	Start       vtime.Ticks      // default: Delta
+	Rand        io.Reader        // default: crypto/rand; pass seeded for determinism
+	Parties     []chain.PartyID  // default: vertex display names
+	Assets      []ArcAsset       // default: chain "chain-aN", asset "asset-aN"
+	Broadcast   bool
+	AllowUnsafe bool
+	DiamBound   int // default: computed from D
+}
+
+// NewSetup builds and validates a full swap setup over d.
+func NewSetup(d *digraph.Digraph, cfg Config) (*Setup, error) {
+	if cfg.Kind == 0 {
+		cfg.Kind = KindGeneral
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = DefaultDelta
+	}
+	if cfg.Start == 0 {
+		cfg.Start = vtime.Ticks(cfg.Delta)
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = hashkey.CryptoRand()
+	}
+	leaders := cfg.Leaders
+	if leaders == nil {
+		leaders, _ = d.MinFVS()
+		if len(leaders) == 0 && d.NumVertices() > 0 {
+			// Acyclic graphs fail validation later anyway (not strongly
+			// connected), but keep the shape sane for unsafe runs.
+			leaders = []digraph.Vertex{0}
+		}
+	}
+	leaders = append([]digraph.Vertex(nil), leaders...)
+	sort.Slice(leaders, func(i, j int) bool { return leaders[i] < leaders[j] })
+
+	parties := cfg.Parties
+	if parties == nil {
+		parties = make([]chain.PartyID, d.NumVertices())
+		for v := range parties {
+			parties[v] = chain.PartyID(d.Name(digraph.Vertex(v)))
+		}
+	}
+	assets := cfg.Assets
+	if assets == nil {
+		assets = make([]ArcAsset, d.NumArcs())
+		for id := range assets {
+			assets[id] = ArcAsset{
+				Chain:  fmt.Sprintf("chain-a%d", id),
+				Asset:  chain.AssetID(fmt.Sprintf("asset-a%d", id)),
+				Amount: 1,
+			}
+		}
+	}
+	diamBound := cfg.DiamBound
+	if diamBound == 0 {
+		diamBound = d.DiameterBound()
+	}
+
+	signers := make([]*hashkey.Signer, d.NumVertices())
+	for v := range signers {
+		s, err := hashkey.NewSigner(digraph.Vertex(v), cfg.Rand)
+		if err != nil {
+			return nil, fmt.Errorf("core: setup: %w", err)
+		}
+		signers[v] = s
+	}
+	secrets := make([]hashkey.Secret, len(leaders))
+	locks := make([]hashkey.Lock, len(leaders))
+	for i := range leaders {
+		sec, err := hashkey.NewSecret(cfg.Rand)
+		if err != nil {
+			return nil, fmt.Errorf("core: setup: %w", err)
+		}
+		secrets[i] = sec
+		locks[i] = sec.Lock()
+	}
+
+	spec := &Spec{
+		Kind:      cfg.Kind,
+		D:         d,
+		Leaders:   leaders,
+		Locks:     locks,
+		Parties:   parties,
+		Keys:      hashkey.NewDirectory(signers...),
+		Assets:    assets,
+		Start:     cfg.Start,
+		Delta:     cfg.Delta,
+		DiamBound: diamBound,
+		Broadcast: cfg.Broadcast,
+	}
+	if err := spec.Validate(cfg.AllowUnsafe); err != nil {
+		return nil, err
+	}
+	spec.Precompute()
+	return &Setup{Spec: spec, Signers: signers, Secrets: secrets}, nil
+}

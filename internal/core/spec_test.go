@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/graphgen"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+func TestNewSetupDefaults(t *testing.T) {
+	setup := newTestSetup(t, graphgen.ThreeWay(), Config{})
+	spec := setup.Spec
+	if spec.Kind != KindGeneral {
+		t.Errorf("Kind = %v, want general", spec.Kind)
+	}
+	if spec.Delta != DefaultDelta {
+		t.Errorf("Delta = %d, want %d", spec.Delta, DefaultDelta)
+	}
+	if spec.Start != vtime.Ticks(DefaultDelta) {
+		t.Errorf("Start = %d, want %d", spec.Start, DefaultDelta)
+	}
+	if len(spec.Leaders) != 1 {
+		t.Errorf("Leaders = %v, want exact min FVS of size 1", spec.Leaders)
+	}
+	if spec.DiamBound != 2 {
+		t.Errorf("DiamBound = %d, want 2", spec.DiamBound)
+	}
+	if spec.PartyOf(0) != "Alice" {
+		t.Errorf("PartyOf(0) = %s, want vertex name", spec.PartyOf(0))
+	}
+	if len(setup.Secrets) != 1 || !setup.Secrets[0].Matches(spec.Locks[0]) {
+		t.Error("leader secret must open its lock")
+	}
+}
+
+func TestNewSetupValidationErrors(t *testing.T) {
+	r := func() *rand.Rand { return rand.New(rand.NewSource(1)) }
+	tests := []struct {
+		name string
+		d    *digraph.Digraph
+		cfg  Config
+		want error
+	}{
+		{
+			name: "not strongly connected",
+			d:    graphgen.NotStronglyConnected(2, 2),
+			cfg:  Config{Rand: r()},
+			want: ErrNotStronglyConnected,
+		},
+		{
+			name: "leaders not FVS",
+			d:    graphgen.TwoLeaderTriangle(),
+			cfg:  Config{Rand: r(), Leaders: []digraph.Vertex{0}},
+			want: ErrLeadersNotFVS,
+		},
+		{
+			name: "single vertex",
+			d:    digraph.FromArcs(1),
+			cfg:  Config{Rand: r()},
+			want: ErrSpecShape,
+		},
+		{
+			name: "single-leader kind with two leaders",
+			d:    graphgen.TwoLeaderTriangle(),
+			cfg:  Config{Rand: r(), Kind: KindSingleLeader},
+			want: ErrSpecShape,
+		},
+		{
+			name: "start before one delta",
+			d:    graphgen.ThreeWay(),
+			cfg:  Config{Rand: r(), Start: 5, Delta: 10},
+			want: ErrSpecShape,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSetup(tt.d, tt.cfg)
+			if !errors.Is(err, tt.want) {
+				t.Errorf("NewSetup err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewSetupAllowUnsafe(t *testing.T) {
+	d := graphgen.NotStronglyConnected(2, 2)
+	if _, err := NewSetup(d, Config{Rand: rand.New(rand.NewSource(1)), AllowUnsafe: true}); err != nil {
+		t.Errorf("AllowUnsafe should skip the strong-connectivity check: %v", err)
+	}
+}
+
+func TestTimelockStaircase(t *testing.T) {
+	// Three-cycle, leader Alice, Δ=10, start=100, diam=2. Timelocks per
+	// arc for lock 0 are Start + (2 + maxpath(tail, Alice))·Δ:
+	// arc 0 (A->B): tail B, maxpath 2 -> 140
+	// arc 1 (B->C): tail C, maxpath 1 -> 130
+	// arc 2 (C->A): tail A, maxpath 0 -> 120
+	setup := newTestSetup(t, graphgen.ThreeWay(), Config{Delta: 10, Start: 100})
+	want := map[int]vtime.Ticks{0: 140, 1: 130, 2: 120}
+	for arc, w := range want {
+		tl := setup.Spec.Timelocks(arc)
+		if len(tl) != 1 || tl[0] != w {
+			t.Errorf("Timelocks(%d) = %v, want [%d]", arc, tl, w)
+		}
+	}
+	// The staircase property of Lemma 4.13: each arc entering a follower
+	// expires strictly later than the arcs leaving it.
+	if !setup.Spec.Timelocks(0)[0].After(setup.Spec.Timelocks(1)[0]) {
+		t.Error("entering Bob should outlive leaving Bob")
+	}
+}
+
+func TestHTLCTimeoutStaircase(t *testing.T) {
+	// Section 4.6: (diam + D(v, leader) + 1)·Δ over the three-cycle:
+	// arc 0 -> (2+2+1)Δ = 150, arc 1 -> (2+1+1)Δ = 140, arc 2 -> (2+0+1)Δ = 130.
+	setup := newTestSetup(t, graphgen.ThreeWay(), Config{Kind: KindSingleLeader, Delta: 10, Start: 100})
+	want := map[int]vtime.Ticks{0: 150, 1: 140, 2: 130}
+	for arc, w := range want {
+		if got := setup.Spec.HTLCTimeout(arc); got != w {
+			t.Errorf("HTLCTimeout(%d) = %d, want %d", arc, got, w)
+		}
+	}
+}
+
+func TestUniformTimeoutsAreEqual(t *testing.T) {
+	setup := newTestSetup(t, graphgen.ThreeWay(), Config{Kind: KindUniformTimeout, Delta: 10, Start: 100})
+	first := setup.Spec.HTLCTimeout(0)
+	for arc := 1; arc < 3; arc++ {
+		if setup.Spec.HTLCTimeout(arc) != first {
+			t.Errorf("uniform timeouts differ: arc %d", arc)
+		}
+	}
+}
+
+func TestContractParamsConsistency(t *testing.T) {
+	setup := newTestSetup(t, graphgen.TwoLeaderTriangle(), Config{})
+	spec := setup.Spec
+	for id := 0; id < spec.D.NumArcs(); id++ {
+		p := spec.ContractParams(id)
+		arc := spec.D.Arc(id)
+		if p.Party != spec.PartyOf(arc.Head) || p.Counter != spec.PartyOf(arc.Tail) {
+			t.Errorf("arc %d party/counter mismatch", id)
+		}
+		if len(p.Locks) != len(spec.Leaders) || len(p.Timelocks) != len(spec.Leaders) {
+			t.Errorf("arc %d lock vector shape", id)
+		}
+		if p.ID != spec.ContractID(id) {
+			t.Errorf("arc %d contract ID mismatch", id)
+		}
+	}
+}
+
+func TestLeaderIndex(t *testing.T) {
+	setup := newTestSetup(t, graphgen.TwoLeaderTriangle(), Config{})
+	spec := setup.Spec
+	for i, l := range spec.Leaders {
+		idx, ok := spec.LeaderIndex(l)
+		if !ok || idx != i {
+			t.Errorf("LeaderIndex(%d) = (%d, %v), want (%d, true)", l, idx, ok, i)
+		}
+		if !spec.IsLeader(l) {
+			t.Errorf("IsLeader(%d) should be true", l)
+		}
+	}
+	followers := 0
+	for _, v := range spec.D.Vertices() {
+		if !spec.IsLeader(v) {
+			followers++
+		}
+	}
+	if followers != spec.D.NumVertices()-len(spec.Leaders) {
+		t.Error("follower count mismatch")
+	}
+}
+
+func TestVertexOf(t *testing.T) {
+	setup := newTestSetup(t, graphgen.ThreeWay(), Config{})
+	v, ok := setup.Spec.VertexOf("Bob")
+	if !ok || v != 1 {
+		t.Errorf("VertexOf(Bob) = (%d, %v)", v, ok)
+	}
+	if _, ok := setup.Spec.VertexOf("mallory"); ok {
+		t.Error("unknown party should not resolve")
+	}
+}
+
+func TestMaxTimelockAndHorizon(t *testing.T) {
+	setup := newTestSetup(t, graphgen.ThreeWay(), Config{Delta: 10, Start: 100})
+	if got := setup.Spec.MaxTimelock(); got != 140 {
+		t.Errorf("MaxTimelock = %d, want 140", got)
+	}
+	if got := setup.Spec.Horizon(); got != 180 {
+		t.Errorf("Horizon = %d, want 180", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindGeneral.String() != "general" || KindSingleLeader.String() != "single-leader" {
+		t.Error("kind names")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Error("unknown kind fallback")
+	}
+}
+
+func TestSetupWithExplicitAssets(t *testing.T) {
+	assets := []ArcAsset{
+		{Chain: "altcoin", Asset: "alt", Amount: 100},
+		{Chain: "bitcoin", Asset: "btc", Amount: 1},
+		{Chain: "titles", Asset: "cadillac", Amount: 1},
+	}
+	setup := newTestSetup(t, graphgen.ThreeWay(), Config{Assets: assets})
+	res := run(t, setup)
+	if !res.Report.AllDeal() {
+		t.Fatal("explicit-asset swap should end AllDeal")
+	}
+	owner, _ := res.Registry.Chain("titles").OwnerOf("cadillac")
+	if owner != chain.ByParty("Alice") {
+		t.Errorf("cadillac owner = %v, want Alice", owner)
+	}
+}
+
+func TestRecurrentSwaps(t *testing.T) {
+	d := graphgen.ThreeWay()
+	rnd := rand.New(rand.NewSource(9))
+	with, err := RunRecurrent(d, 3, true, rnd, 1)
+	if err != nil {
+		t.Fatalf("RunRecurrent(piggyback): %v", err)
+	}
+	rnd2 := rand.New(rand.NewSource(9))
+	without, err := RunRecurrent(d, 3, false, rnd2, 1)
+	if err != nil {
+		t.Fatalf("RunRecurrent(no piggyback): %v", err)
+	}
+	for i, r := range with.Rounds {
+		if !r.AllDeal {
+			t.Errorf("piggyback round %d not AllDeal", i)
+		}
+	}
+	if with.TotalTicks >= without.TotalTicks {
+		t.Errorf("piggybacked rounds (%d ticks) should beat re-clearing (%d ticks)",
+			with.TotalTicks, without.TotalTicks)
+	}
+	if _, err := RunRecurrent(d, 0, true, rnd, 1); err == nil {
+		t.Error("zero rounds should error")
+	}
+}
+
+func TestMultigraphSwap(t *testing.T) {
+	// Section 5: parallel arcs — Alice sends three assets to Bob, Bob one
+	// back. Every arc needs its own contract and all must trigger.
+	setup := newTestSetup(t, graphgen.MultiArcPair(3), Config{})
+	res := run(t, setup)
+	if !res.Report.AllDeal() {
+		t.Log("\n" + res.Log.Render())
+		t.Fatal("multigraph swap should end AllDeal")
+	}
+	for id := 0; id < 4; id++ {
+		if !res.Triggered[id] {
+			t.Errorf("arc %d not triggered", id)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package digraph
+
+// TopoSort returns a topological order of the vertexes and true when the
+// digraph is acyclic, or nil and false when it contains a cycle. Kahn's
+// algorithm with deterministic (index-ordered) tie-breaking.
+func (d *Digraph) TopoSort() ([]Vertex, bool) {
+	n := d.NumVertices()
+	indeg := make([]int, n)
+	for _, a := range d.arcs {
+		indeg[a.Tail]++
+	}
+	// A sorted worklist keeps the order deterministic.
+	var ready []Vertex
+	for v := n - 1; v >= 0; v-- {
+		if indeg[v] == 0 {
+			ready = append(ready, Vertex(v))
+		}
+	}
+	order := make([]Vertex, 0, n)
+	for len(ready) > 0 {
+		// Pop the smallest-index ready vertex (list is kept descending).
+		v := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, id := range d.out[v] {
+			w := d.arcs[id].Tail
+			indeg[w]--
+			if indeg[w] == 0 {
+				// Insert keeping the list sorted descending.
+				i := len(ready)
+				ready = append(ready, w)
+				for i > 0 && ready[i-1] < w {
+					ready[i] = ready[i-1]
+					i--
+				}
+				ready[i] = w
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsAcyclic reports whether the digraph has no directed cycle.
+func (d *Digraph) IsAcyclic() bool {
+	_, ok := d.TopoSort()
+	return ok
+}
+
+// FindCycle returns the vertexes of some directed cycle in visiting order
+// (without repeating the first vertex), or nil if the digraph is acyclic.
+func (d *Digraph) FindCycle() []Vertex {
+	n := d.NumVertices()
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // finished
+	)
+	color := make([]int, n)
+	parent := make([]Vertex, n)
+
+	for start := 0; start < n; start++ {
+		if color[start] != white {
+			continue
+		}
+		type frame struct {
+			v   Vertex
+			arc int
+		}
+		frames := []frame{{v: Vertex(start)}}
+		color[start] = gray
+		parent[start] = -1
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.arc < len(d.out[v]) {
+				w := d.arcs[d.out[v][f.arc]].Tail
+				f.arc++
+				switch color[w] {
+				case white:
+					color[w] = gray
+					parent[w] = v
+					frames = append(frames, frame{v: w})
+				case gray:
+					// Found a back arc v -> w: recover the cycle w..v.
+					cycle := []Vertex{w}
+					for x := v; x != w; x = parent[x] {
+						cycle = append(cycle, x)
+					}
+					// Reverse into visiting order w, ..., v.
+					for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+						cycle[i], cycle[j] = cycle[j], cycle[i]
+					}
+					return cycle
+				}
+				continue
+			}
+			color[v] = black
+			frames = frames[:len(frames)-1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopoSortDAG(t *testing.T) {
+	// Diamond: 0 -> {1,2} -> 3.
+	d := FromArcs(4, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 3}, [2]int{2, 3})
+	order, ok := d.TopoSort()
+	if !ok {
+		t.Fatal("diamond is acyclic")
+	}
+	pos := make(map[Vertex]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, a := range d.Arcs() {
+		if pos[a.Head] >= pos[a.Tail] {
+			t.Errorf("arc %v violates topological order %v", a, order)
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	d := FromArcs(4, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 3}, [2]int{2, 3})
+	first, _ := d.TopoSort()
+	for i := 0; i < 5; i++ {
+		again, _ := d.TopoSort()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("TopoSort not deterministic: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	if _, ok := cycle3().TopoSort(); ok {
+		t.Error("cycle should not topo-sort")
+	}
+	if cycle3().IsAcyclic() {
+		t.Error("cycle3 is not acyclic")
+	}
+}
+
+func TestIsAcyclicEmpty(t *testing.T) {
+	if !New().IsAcyclic() {
+		t.Error("empty digraph is acyclic")
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	tests := []struct {
+		name string
+		d    *Digraph
+		want bool
+	}{
+		{name: "3-cycle", d: cycle3(), want: true},
+		{name: "chain", d: FromArcs(3, [2]int{0, 1}, [2]int{1, 2}), want: false},
+		{name: "2-cycle", d: FromArcs(2, [2]int{0, 1}, [2]int{1, 0}), want: true},
+		{name: "dag with diamond", d: FromArcs(4, [2]int{0, 1}, [2]int{0, 2}, [2]int{1, 3}, [2]int{2, 3}), want: false},
+		{name: "cycle behind a tail", d: FromArcs(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{3, 1}), want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cyc := tt.d.FindCycle()
+			if (cyc != nil) != tt.want {
+				t.Fatalf("FindCycle = %v, want cycle: %v", cyc, tt.want)
+			}
+			if cyc == nil {
+				return
+			}
+			// Verify it is a real cycle: consecutive arcs plus closing arc.
+			for i := 0; i < len(cyc); i++ {
+				next := cyc[(i+1)%len(cyc)]
+				if !tt.d.HasArcBetween(cyc[i], next) {
+					t.Errorf("returned cycle %v missing arc %d->%d", cyc, cyc[i], next)
+				}
+			}
+		})
+	}
+}
+
+// TestFindCycleAgreesWithTopoSort cross-checks the two cycle detectors.
+func TestFindCycleAgreesWithTopoSort(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDigraph(rand.New(rand.NewSource(seed)), 9, 0.2)
+		_, acyclic := d.TopoSort()
+		cyc := d.FindCycle()
+		return acyclic == (cyc == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

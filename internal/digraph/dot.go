@@ -1,0 +1,28 @@
+package digraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the digraph in Graphviz DOT syntax. Vertexes in highlight
+// (the leaders, usually) are drawn with a double circle.
+func (d *Digraph) DOT(name string, highlight map[Vertex]bool) string {
+	if name == "" {
+		name = "swap"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	for v, n := range d.names {
+		shape := "circle"
+		if highlight[Vertex(v)] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", n, shape)
+	}
+	for _, a := range d.arcs {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"a%d\"];\n", d.names[a.Head], d.names[a.Tail], a.ID)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,220 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLongestPathsFromCycle(t *testing.T) {
+	d := cycle3()
+	best, exact := d.LongestPathsFrom(0)
+	if !exact {
+		t.Fatal("3 vertexes should be exact")
+	}
+	want := []int{0, 1, 2} // A: itself 0, A->B 1, A->B->C 2
+	for v, w := range want {
+		if best[v] != w {
+			t.Errorf("longest 0->%d = %d, want %d", v, best[v], w)
+		}
+	}
+}
+
+func TestLongestPathsFromUnreachable(t *testing.T) {
+	d := FromArcs(3, [2]int{0, 1})
+	best, _ := d.LongestPathsFrom(0)
+	if best[2] != -1 {
+		t.Errorf("unreachable vertex should be -1, got %d", best[2])
+	}
+}
+
+func TestLongestPathLenCompleteDigraph(t *testing.T) {
+	// Complete digraph on 4 vertexes: longest simple path between any two
+	// distinct vertexes visits all 4 vertexes, length 3.
+	d := New()
+	for i := 0; i < 4; i++ {
+		d.AddVertex("")
+	}
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v {
+				d.MustAddArc(Vertex(u), Vertex(v))
+			}
+		}
+	}
+	got, exact := d.LongestPathLen(0, 3)
+	if !exact || got != 3 {
+		t.Errorf("LongestPathLen = (%d, %v), want (3, true)", got, exact)
+	}
+	diam, exact := d.Diameter()
+	if !exact || diam != 3 {
+		t.Errorf("Diameter = (%d, %v), want (3, true)", diam, exact)
+	}
+}
+
+func TestDiameterCases(t *testing.T) {
+	tests := []struct {
+		name string
+		d    *Digraph
+		want int
+	}{
+		{name: "empty", d: New(), want: 0},
+		{name: "3-cycle", d: cycle3(), want: 2},
+		{name: "chain of 4", d: FromArcs(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}), want: 3},
+		{name: "two-leader triangle", d: FromArcs(3,
+			[2]int{0, 1}, [2]int{1, 0}, [2]int{1, 2}, [2]int{2, 1}, [2]int{0, 2}, [2]int{2, 0}), want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, exact := tt.d.Diameter()
+			if !exact || got != tt.want {
+				t.Errorf("Diameter = (%d, %v), want (%d, true)", got, exact, tt.want)
+			}
+		})
+	}
+}
+
+// TestLongestPathsMatchEnumeration cross-checks the bitmask DP against
+// explicit path enumeration.
+func TestLongestPathsMatchEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDigraph(rand.New(rand.NewSource(seed)), 7, 0.35)
+		n := d.NumVertices()
+		for u := 0; u < n; u++ {
+			best, exact := d.LongestPathsFrom(Vertex(u))
+			if !exact {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				want := -1
+				for _, p := range d.AllSimplePaths(Vertex(u), Vertex(v), 0) {
+					if p.Len() > want {
+						want = p.Len()
+					}
+				}
+				if best[v] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiameterMatchesPairwiseLongest(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDigraph(rand.New(rand.NewSource(seed)), 7, 0.35)
+		diam, _ := d.Diameter()
+		want := 0
+		for u := 0; u < d.NumVertices(); u++ {
+			best, _ := d.LongestPathsFrom(Vertex(u))
+			for _, b := range best {
+				if b > want {
+					want = b
+				}
+			}
+		}
+		return diam == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeGraphFallback(t *testing.T) {
+	// A directed cycle bigger than MaxExactVertices: values are the n-1
+	// upper bound and flagged inexact.
+	n := MaxExactVertices + 3
+	d := New()
+	for i := 0; i < n; i++ {
+		d.AddVertex("")
+	}
+	for i := 0; i < n; i++ {
+		d.MustAddArc(Vertex(i), Vertex((i+1)%n))
+	}
+	best, exact := d.LongestPathsFrom(0)
+	if exact {
+		t.Error("large graph should not claim exactness")
+	}
+	for v, b := range best {
+		if b != n-1 {
+			t.Errorf("fallback bound for %d = %d, want %d", v, b, n-1)
+		}
+	}
+	diam, exact := d.Diameter()
+	if exact || diam != n-1 {
+		t.Errorf("Diameter = (%d, %v), want (%d, false)", diam, exact, n-1)
+	}
+	if d.DiameterBound() != n-1 {
+		t.Errorf("DiameterBound = %d, want %d", d.DiameterBound(), n-1)
+	}
+}
+
+func TestLongestPathsToSink(t *testing.T) {
+	// Figure 1's 3-cycle with leader A (= vertex 0): follower subgraph
+	// B->C is acyclic. D(A,A)=0, D(B,A)=2 (B->C->A), D(C,A)=1.
+	d := cycle3()
+	dist, ok := d.LongestPathsToSink(0)
+	if !ok {
+		t.Fatal("single leader of a 3-cycle is an FVS")
+	}
+	want := []int{0, 2, 1}
+	for v, w := range want {
+		if dist[v] != w {
+			t.Errorf("D(%d, leader) = %d, want %d", v, dist[v], w)
+		}
+	}
+}
+
+func TestLongestPathsToSinkNotFVS(t *testing.T) {
+	// Two disjoint cycles sharing no vertex: one leader cannot break both.
+	d := FromArcs(4,
+		[2]int{0, 1}, [2]int{1, 0},
+		[2]int{2, 3}, [2]int{3, 2},
+	)
+	if _, ok := d.LongestPathsToSink(0); ok {
+		t.Error("vertex 0 is not an FVS for two disjoint cycles")
+	}
+}
+
+func TestLongestPathsToSinkMatchesDP(t *testing.T) {
+	// On single-leader graphs, the polynomial sink computation must agree
+	// with the exponential exact DP.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build a flower: k petal cycles sharing vertex 0.
+		d := New()
+		center := d.AddVertex("L")
+		k := 1 + r.Intn(3)
+		for p := 0; p < k; p++ {
+			prev := center
+			petal := 1 + r.Intn(3)
+			for i := 0; i < petal; i++ {
+				v := d.AddVertex("")
+				d.MustAddArc(prev, v)
+				prev = v
+			}
+			d.MustAddArc(prev, center)
+		}
+		if d.NumVertices() > MaxExactVertices {
+			return true
+		}
+		dist, ok := d.LongestPathsToSink(center)
+		if !ok {
+			return false
+		}
+		for v := 0; v < d.NumVertices(); v++ {
+			want, _ := d.LongestPathLen(Vertex(v), center)
+			if dist[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

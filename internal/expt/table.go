@@ -1,0 +1,74 @@
+// Package expt is the experiment harness: one function per figure or
+// quantitative claim of the paper, each returning a rendered table that
+// cmd/swapbench prints and EXPERIMENTS.md records. The experiment index
+// lives in DESIGN.md §4.
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting every cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", t.ID, t.Title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1Timeline},
+		{"E2", E2CompletionTime},
+		{"E3", E3SpaceComplexity},
+		{"E4", E4Communication},
+		{"E5", E5AdversarialMatrix},
+		{"E6", E6NonStronglyConnected},
+		{"E7", E7LeadersNotFVS},
+		{"E8", E8SingleLeaderStaircase},
+		{"E9", E9Figure7Hashkeys},
+		{"E10", E10PebbleGames},
+		{"E11", E11TimeoutAttacks},
+		{"E12", E12GriefingLockup},
+		{"E13", E13RecurrentSwaps},
+		{"E14", E14FeedbackVertexSets},
+		{"E15", E15BroadcastShortCircuit},
+		{"E16", E16Multigraph},
+		{"E17", E17FaultAttribution},
+	}
+}

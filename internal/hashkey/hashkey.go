@@ -1,0 +1,227 @@
+// Package hashkey implements the cryptographic machinery of the swap
+// protocol: secrets and SHA-256 hashlocks, Ed25519 signing identities for
+// the parties, and hashkeys — the (secret, path, signature-chain) triples
+// of Section 4.1 that generalize hashed timelocks to multi-leader swaps.
+//
+// A hashkey for hashlock h on arc (u, v) is (s, p, σ): the secret with
+// h = H(s), a simple path p = (u₀, ..., u_k) where u₀ = v is the presenting
+// counterparty and u_k is the leader who generated s, and
+// σ = sig(···sig(s, u_k), ..., u₀) — the secret signed by the leader, then
+// each successive party wrapping the previous signature. A hashkey times
+// out at (diam(D) + |p|)·Δ after the protocol start; the path-dependent
+// deadline replaces the static timeout staircase of single-leader swaps.
+package hashkey
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+)
+
+// SecretSize is the byte length of swap secrets.
+const SecretSize = 32
+
+// SigSize is the byte length of one signature link in a chain.
+const SigSize = ed25519.SignatureSize
+
+// Secret is a leader-generated preimage.
+type Secret [SecretSize]byte
+
+// Lock is the SHA-256 hashlock of a secret.
+type Lock [sha256.Size]byte
+
+// NewSecret draws a fresh secret from r (crypto/rand.Reader in production,
+// a seeded reader in deterministic simulations).
+func NewSecret(r io.Reader) (Secret, error) {
+	var s Secret
+	if _, err := io.ReadFull(r, s[:]); err != nil {
+		return Secret{}, fmt.Errorf("hashkey: drawing secret: %w", err)
+	}
+	return s, nil
+}
+
+// Lock returns the hashlock H(s).
+func (s Secret) Lock() Lock { return sha256.Sum256(s[:]) }
+
+// Matches reports whether the secret opens the lock.
+func (s Secret) Matches(l Lock) bool { return s.Lock() == l }
+
+// String renders a short hex prefix, safe for traces (it is the lock that
+// is public; secrets render redacted).
+func (s Secret) String() string { return "secret(…" + hex.EncodeToString(s[28:])[0:8] + ")" }
+
+// String renders a short hex prefix of the lock.
+func (l Lock) String() string { return hex.EncodeToString(l[:4]) }
+
+// Signer is a party's signing identity.
+type Signer struct {
+	vertex digraph.Vertex
+	pub    ed25519.PublicKey
+	priv   ed25519.PrivateKey
+}
+
+// NewSigner creates a signing identity for the given vertex using
+// randomness from r.
+func NewSigner(vertex digraph.Vertex, r io.Reader) (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(r)
+	if err != nil {
+		return nil, fmt.Errorf("hashkey: generating key for vertex %d: %w", vertex, err)
+	}
+	return &Signer{vertex: vertex, pub: pub, priv: priv}, nil
+}
+
+// Vertex returns the vertex this identity signs for.
+func (s *Signer) Vertex() digraph.Vertex { return s.vertex }
+
+// Public returns the public key.
+func (s *Signer) Public() ed25519.PublicKey { return s.pub }
+
+// Sign signs msg.
+func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+
+// Directory maps vertexes to their public keys; contracts use it to verify
+// signature chains. It is part of the public swap plan.
+type Directory map[digraph.Vertex]ed25519.PublicKey
+
+// NewDirectory builds a directory from signers.
+func NewDirectory(signers ...*Signer) Directory {
+	d := make(Directory, len(signers))
+	for _, s := range signers {
+		d[s.vertex] = s.pub
+	}
+	return d
+}
+
+// Errors returned by hashkey verification.
+var (
+	ErrWrongSecret   = errors.New("hashkey: secret does not match hashlock")
+	ErrEmptyPath     = errors.New("hashkey: empty path")
+	ErrWrongLeader   = errors.New("hashkey: path does not end at the secret's leader")
+	ErrChainLength   = errors.New("hashkey: signature chain length does not match path")
+	ErrBadSignature  = errors.New("hashkey: invalid signature in chain")
+	ErrUnknownSigner = errors.New("hashkey: no public key for path vertex")
+)
+
+// Hashkey is the paper's (s, p, σ) triple. Sigs[i] is the signature by
+// Path[i]: Sigs[k] (the leader's, k = len(Path)-1) signs the secret, and
+// Sigs[i] for i < k signs Sigs[i+1]. The nested value the paper calls σ is
+// Sigs[0]; the full chain is carried so each link can be verified.
+type Hashkey struct {
+	Secret Secret
+	Path   digraph.Path
+	Sigs   [][]byte
+}
+
+// New creates a leader's degenerate hashkey: path (leader), the leader's
+// signature over the secret. This is the form leaders present on their own
+// entering arcs at the start of Phase Two.
+func New(secret Secret, leader *Signer) Hashkey {
+	return Hashkey{
+		Secret: secret,
+		Path:   digraph.Path{leader.Vertex()},
+		Sigs:   [][]byte{leader.Sign(secret[:])},
+	}
+}
+
+// Extend returns the hashkey re-presented by v: path v + p, signature
+// chain prefixed with v's signature over the current outermost signature.
+// The receiver is unchanged.
+func (h Hashkey) Extend(v *Signer) Hashkey {
+	sigs := make([][]byte, 0, len(h.Sigs)+1)
+	sigs = append(sigs, v.Sign(h.Sigs[0]))
+	sigs = append(sigs, h.Sigs...)
+	return Hashkey{
+		Secret: h.Secret,
+		Path:   h.Path.Prepend(v.Vertex()),
+		Sigs:   sigs,
+	}
+}
+
+// PathLen returns |p|, the number of arcs on the path. The timeout of a
+// hashkey presented at time t is start + (diam + PathLen)·Δ.
+func (h Hashkey) PathLen() int { return h.Path.Len() }
+
+// Leader returns the final path vertex — the leader expected to have
+// generated the secret.
+func (h Hashkey) Leader() digraph.Vertex { return h.Path[len(h.Path)-1] }
+
+// Presenter returns the first path vertex — the counterparty presenting
+// the hashkey.
+func (h Hashkey) Presenter() digraph.Vertex { return h.Path[0] }
+
+// WireSize returns the serialized size in bytes (secret + path vertex ids
+// + signatures), used for the communication-complexity accounting.
+func (h Hashkey) WireSize() int {
+	return SecretSize + 4*len(h.Path) + SigSize*len(h.Sigs)
+}
+
+// Verify checks the hashkey against a hashlock, the swap digraph, the
+// expected leader, and the party directory:
+//
+//   - the secret opens the lock,
+//   - the path is a simple path in d from presenter to leader,
+//   - every link of the signature chain verifies under the corresponding
+//     path vertex's public key.
+//
+// It returns nil when the hashkey is valid.
+func (h Hashkey) Verify(lock Lock, d *digraph.Digraph, leader digraph.Vertex, dir Directory) error {
+	if len(h.Path) != 0 && !d.IsPath(h.Path) {
+		return fmt.Errorf("hashkey: %v is not a simple path in the swap digraph", h.Path)
+	}
+	return h.VerifyCrypto(lock, leader, dir)
+}
+
+// VerifyCrypto checks everything Verify does except membership of the
+// path in a digraph. The Swap contract uses it together with its own path
+// check, which must also admit the virtual (counterparty, leader) paths
+// of the Section 4.5 broadcast optimization.
+func (h Hashkey) VerifyCrypto(lock Lock, leader digraph.Vertex, dir Directory) error {
+	if len(h.Path) == 0 {
+		return ErrEmptyPath
+	}
+	if !h.Secret.Matches(lock) {
+		return ErrWrongSecret
+	}
+	if h.Leader() != leader {
+		return fmt.Errorf("%w: path ends at %d, leader is %d", ErrWrongLeader, h.Leader(), leader)
+	}
+	if len(h.Sigs) != len(h.Path) {
+		return fmt.Errorf("%w: %d signatures for %d path vertexes", ErrChainLength, len(h.Sigs), len(h.Path))
+	}
+	k := len(h.Path) - 1
+	for i := 0; i <= k; i++ {
+		pub, ok := dir[h.Path[i]]
+		if !ok {
+			return fmt.Errorf("%w: vertex %d", ErrUnknownSigner, h.Path[i])
+		}
+		var msg []byte
+		if i == k {
+			msg = h.Secret[:]
+		} else {
+			msg = h.Sigs[i+1]
+		}
+		if !ed25519.Verify(pub, msg, h.Sigs[i]) {
+			return fmt.Errorf("%w: link %d (vertex %d)", ErrBadSignature, i, h.Path[i])
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy, so contracts can retain hashkeys without
+// aliasing caller-owned buffers.
+func (h Hashkey) Clone() Hashkey {
+	sigs := make([][]byte, len(h.Sigs))
+	for i, s := range h.Sigs {
+		sigs[i] = append([]byte(nil), s...)
+	}
+	return Hashkey{Secret: h.Secret, Path: h.Path.Clone(), Sigs: sigs}
+}
+
+// CryptoRand returns the process-wide cryptographic randomness source.
+func CryptoRand() io.Reader { return rand.Reader }

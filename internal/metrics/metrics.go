@@ -1,0 +1,69 @@
+// Package metrics collects the quantities the paper's complexity claims
+// are stated in: bytes stored across all blockchains (Theorem 4.10's
+// O(|A|²) bound), bytes moved by unlock calls (the O(|A|·|L|)
+// communication claim), call counts, and protocol duration in Δ units.
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// Counters accumulates protocol-level measurements during a run. The zero
+// value is ready to use.
+type Counters struct {
+	PublishCalls int
+	PublishBytes int
+	UnlockCalls  int
+	UnlockBytes  int
+	ClaimCalls   int
+	RefundCalls  int
+	FailedCalls  int
+}
+
+// AddPublish records a successful contract publication of the given size.
+func (c *Counters) AddPublish(bytes int) {
+	c.PublishCalls++
+	c.PublishBytes += bytes
+}
+
+// AddUnlock records a successful unlock (or redeem) call of the given size.
+func (c *Counters) AddUnlock(bytes int) {
+	c.UnlockCalls++
+	c.UnlockBytes += bytes
+}
+
+// AddClaim records a successful claim.
+func (c *Counters) AddClaim() { c.ClaimCalls++ }
+
+// AddRefund records a successful refund.
+func (c *Counters) AddRefund() { c.RefundCalls++ }
+
+// AddFailed records a rejected call (reverted, nothing stored).
+func (c *Counters) AddFailed() { c.FailedCalls++ }
+
+// Timing describes when a run's phases completed, in ticks and Δ units.
+type Timing struct {
+	Start      vtime.Ticks
+	Delta      vtime.Duration
+	DeployDone vtime.Ticks // last contract publication
+	AllDone    vtime.Ticks // last claim/refund settlement
+}
+
+// DeployDelta returns the deployment duration as a Δ string.
+func (t Timing) DeployDelta() string {
+	return vtime.InDelta(t.DeployDone.Sub(t.Start), t.Delta)
+}
+
+// TotalDelta returns the full-run duration as a Δ string.
+func (t Timing) TotalDelta() string {
+	return vtime.InDelta(t.AllDone.Sub(t.Start), t.Delta)
+}
+
+// String summarizes the counters.
+func (c *Counters) String() string {
+	return fmt.Sprintf("publishes=%d (%dB) unlocks=%d (%dB) claims=%d refunds=%d failed=%d",
+		c.PublishCalls, c.PublishBytes, c.UnlockCalls, c.UnlockBytes,
+		c.ClaimCalls, c.RefundCalls, c.FailedCalls)
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var c Counters
+	c.AddPublish(100)
+	c.AddPublish(50)
+	c.AddUnlock(32)
+	c.AddClaim()
+	c.AddRefund()
+	c.AddFailed()
+
+	if c.PublishCalls != 2 || c.PublishBytes != 150 {
+		t.Errorf("publish = (%d, %d), want (2, 150)", c.PublishCalls, c.PublishBytes)
+	}
+	if c.UnlockCalls != 1 || c.UnlockBytes != 32 {
+		t.Errorf("unlock = (%d, %d), want (1, 32)", c.UnlockCalls, c.UnlockBytes)
+	}
+	if c.ClaimCalls != 1 || c.RefundCalls != 1 || c.FailedCalls != 1 {
+		t.Errorf("claim/refund/failed = %d/%d/%d, want 1/1/1", c.ClaimCalls, c.RefundCalls, c.FailedCalls)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	var c Counters
+	c.AddPublish(10)
+	s := c.String()
+	for _, want := range []string{"publishes=1", "10B", "unlocks=0", "failed=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTimingDeltas(t *testing.T) {
+	tm := Timing{Start: 100, Delta: 10, DeployDone: 120, AllDone: 140}
+	if got := tm.DeployDelta(); got != "2Δ" {
+		t.Errorf("DeployDelta = %q, want 2Δ", got)
+	}
+	if got := tm.TotalDelta(); got != "4Δ" {
+		t.Errorf("TotalDelta = %q, want 4Δ", got)
+	}
+}
+
+func TestZeroValueReady(t *testing.T) {
+	var c Counters
+	if c.String() == "" {
+		t.Error("zero counters should render")
+	}
+}

@@ -1,0 +1,140 @@
+// Package pebble implements the two pebble games of Section 4.4, the
+// combinatorial skeleton of the protocol's timing analysis:
+//
+//   - the lazy game models Phase One (contract deployment): pebbles start
+//     on the arcs leaving each leader, and a vertex pebbles its leaving
+//     arcs once every entering arc is pebbled;
+//   - the eager game models each secret's Phase Two dissemination on the
+//     transpose digraph: a single start vertex is pebbled, and a vertex
+//     pebbles its leaving arcs once any entering arc is pebbled.
+//
+// Lemmas 4.1–4.3 state that both games pebble every arc within diam(D)
+// rounds; the experiments verify that and cross-check the protocol's
+// phase timing against these reference dynamics.
+package pebble
+
+import "github.com/go-atomicswap/atomicswap/internal/digraph"
+
+// Result reports a completed pebble game.
+type Result struct {
+	// Round[arcID] is the round the arc was pebbled (leaders' initial
+	// placement is round 0), or -1 if it never was.
+	Round []int
+	// Rounds is the number of rounds until no more pebbles could be
+	// placed (the maximum over Round when complete).
+	Rounds int
+	// Complete reports whether every arc was pebbled.
+	Complete bool
+}
+
+// Lazy plays the lazy pebble game on d with the given leaders. Per the
+// paper's Phase One: round 0 pebbles every arc leaving a leader; in each
+// later round, every vertex whose entering arcs are all pebbled (and which
+// has an unpebbled leaving arc) pebbles its leaving arcs.
+func Lazy(d *digraph.Digraph, leaders []digraph.Vertex) Result {
+	round := make([]int, d.NumArcs())
+	for i := range round {
+		round[i] = -1
+	}
+	isLeader := make(map[digraph.Vertex]bool, len(leaders))
+	for _, l := range leaders {
+		isLeader[l] = true
+	}
+	for _, l := range leaders {
+		for _, id := range d.Out(l) {
+			round[id] = 0
+		}
+	}
+	cur := 0
+	for {
+		var newly []int
+		for v := 0; v < d.NumVertices(); v++ {
+			vx := digraph.Vertex(v)
+			if isLeader[vx] {
+				continue // leaders placed in round 0 and never re-place
+			}
+			ready := true
+			for _, id := range d.In(vx) {
+				if round[id] < 0 || round[id] > cur {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			for _, id := range d.Out(vx) {
+				if round[id] < 0 {
+					newly = append(newly, id)
+				}
+			}
+		}
+		if len(newly) == 0 {
+			break
+		}
+		cur++
+		for _, id := range newly {
+			round[id] = cur
+		}
+	}
+	return finish(round, cur)
+}
+
+// Eager plays the eager pebble game on d starting from z: round 0 pebbles
+// the arcs leaving z; in each later round, every vertex with any pebbled
+// entering arc pebbles its leaving arcs. (The paper starts with a pebble
+// "on z"; pebbling z's leaving arcs in round 0 is the equivalent arc-level
+// formulation.)
+func Eager(d *digraph.Digraph, z digraph.Vertex) Result {
+	round := make([]int, d.NumArcs())
+	for i := range round {
+		round[i] = -1
+	}
+	for _, id := range d.Out(z) {
+		round[id] = 0
+	}
+	cur := 0
+	for {
+		var newly []int
+		for v := 0; v < d.NumVertices(); v++ {
+			vx := digraph.Vertex(v)
+			if vx == z {
+				continue
+			}
+			ready := false
+			for _, id := range d.In(vx) {
+				if round[id] >= 0 && round[id] <= cur {
+					ready = true
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			for _, id := range d.Out(vx) {
+				if round[id] < 0 {
+					newly = append(newly, id)
+				}
+			}
+		}
+		if len(newly) == 0 {
+			break
+		}
+		cur++
+		for _, id := range newly {
+			round[id] = cur
+		}
+	}
+	return finish(round, cur)
+}
+
+func finish(round []int, rounds int) Result {
+	complete := true
+	for _, r := range round {
+		if r < 0 {
+			complete = false
+			break
+		}
+	}
+	return Result{Round: round, Rounds: rounds, Complete: complete}
+}

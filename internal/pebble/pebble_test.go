@@ -1,0 +1,132 @@
+package pebble
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/graphgen"
+)
+
+func TestLazyThreeCycle(t *testing.T) {
+	d := graphgen.ThreeWay()
+	res := Lazy(d, []digraph.Vertex{0})
+	if !res.Complete {
+		t.Fatal("lazy game must complete on a strongly connected digraph with an FVS")
+	}
+	// Alice pebbles arc 0 in round 0; Bob arc 1 in round 1; Carol arc 2 in
+	// round 2 — exactly Figure 1's deployment order.
+	want := []int{0, 1, 2}
+	for id, r := range want {
+		if res.Round[id] != r {
+			t.Errorf("arc %d pebbled in round %d, want %d", id, res.Round[id], r)
+		}
+	}
+	if res.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2 = diam", res.Rounds)
+	}
+}
+
+func TestLazyStallsWithoutFVS(t *testing.T) {
+	// Leaders {A} on the two-leader triangle: the B<->C 2-cycle never
+	// becomes ready, so the game stops incomplete (Lemma 4.1's premise is
+	// violated).
+	d := graphgen.TwoLeaderTriangle()
+	res := Lazy(d, []digraph.Vertex{0})
+	if res.Complete {
+		t.Fatal("game should stall when leaders are not an FVS")
+	}
+}
+
+func TestLazyTwoLeaders(t *testing.T) {
+	d := graphgen.TwoLeaderTriangle()
+	res := Lazy(d, []digraph.Vertex{0, 1})
+	if !res.Complete {
+		t.Fatal("two leaders form an FVS; game must complete")
+	}
+	diam, _ := d.Diameter()
+	if res.Rounds > diam {
+		t.Errorf("Rounds = %d exceeds diam = %d (Lemma 4.3)", res.Rounds, diam)
+	}
+}
+
+func TestEagerThreeCycle(t *testing.T) {
+	// Phase Two disseminates on the transpose; eager from Alice on D^T
+	// reaches every arc.
+	d := graphgen.ThreeWay().Transpose()
+	res := Eager(d, 0)
+	if !res.Complete {
+		t.Fatal("eager game must complete on a strongly connected digraph")
+	}
+	diam, _ := d.Diameter()
+	if res.Rounds > diam {
+		t.Errorf("Rounds = %d exceeds diam = %d (Lemma 4.3)", res.Rounds, diam)
+	}
+}
+
+func TestEagerNotStronglyConnected(t *testing.T) {
+	// From the X side of a one-way X->Y graph the game completes; from Y it
+	// cannot reach X (Lemma 4.2 needs strong connectivity).
+	d := graphgen.NotStronglyConnected(3, 3)
+	if res := Eager(d, 0); !res.Complete {
+		t.Error("from X every arc is reachable")
+	}
+	if res := Eager(d, 3); res.Complete {
+		t.Error("from Y the X arcs must stay unpebbled")
+	}
+}
+
+// TestLemmas41to43 is the property-test form of the paper's pebble lemmas:
+// on random strongly connected digraphs with an exact-minimum FVS as
+// leaders, both games pebble every arc within diam(D) rounds.
+func TestLemmas41to43(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3 + int(seed%7+7)%7 // 3..9 vertexes
+		d := graphgen.RandomStronglyConnected(n, 0.3, seed)
+		leaders := d.ExactMinFVS()
+		diam, _ := d.Diameter()
+
+		lazy := Lazy(d, leaders)
+		if !lazy.Complete || lazy.Rounds > diam {
+			return false
+		}
+		// Eager on the transpose from every possible leader.
+		dt := d.Transpose()
+		for _, l := range leaders {
+			eager := Eager(dt, l)
+			if !eager.Complete || eager.Rounds > diam {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLazyRoundsMonotone(t *testing.T) {
+	// A vertex's leaving arcs are pebbled strictly after its entering arcs
+	// unless it is a leader.
+	d := graphgen.Cycle(6)
+	res := Lazy(d, []digraph.Vertex{0})
+	if !res.Complete {
+		t.Fatal("cycle with leader must complete")
+	}
+	for v := 1; v < 6; v++ {
+		in := d.In(digraph.Vertex(v))
+		out := d.Out(digraph.Vertex(v))
+		if res.Round[out[0]] != res.Round[in[0]]+1 {
+			t.Errorf("vertex %d: out round %d, in round %d; want out = in+1",
+				v, res.Round[out[0]], res.Round[in[0]])
+		}
+	}
+}
+
+func TestResultRoundCopySemantics(t *testing.T) {
+	d := graphgen.Cycle(3)
+	res := Lazy(d, []digraph.Vertex{0})
+	if len(res.Round) != d.NumArcs() {
+		t.Errorf("Round has %d entries, want %d", len(res.Round), d.NumArcs())
+	}
+}

@@ -1,0 +1,122 @@
+// Package sim provides the deterministic discrete-event scheduler that
+// drives swap simulations.
+//
+// The paper's timing model has a single parameter Δ; all protocol behavior
+// is a reaction to a chain state change observed within Δ of the action
+// that caused it. The scheduler realizes this: every action schedules its
+// observable consequences as future events, virtual time jumps from event
+// to event, and ties are broken by scheduling order, so a run is a pure
+// function of its inputs and seed.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  vtime.Ticks
+	seq int64 // tie-break: FIFO among same-tick events
+	fn  func()
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event loop. The zero value is
+// not usable; create one with New.
+type Scheduler struct {
+	now    vtime.Ticks
+	seq    int64
+	queue  eventHeap
+	rng    *rand.Rand
+	nSteps int
+}
+
+// New returns a scheduler starting at tick 0 with the given seed for any
+// randomized policies layered on top.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time. Scheduler implements vtime.Clock.
+func (s *Scheduler) Now() vtime.Ticks { return s.now }
+
+// Rand returns the scheduler's seeded random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at the given tick. Scheduling in the past (or
+// present) runs at the current tick, after already-queued current-tick
+// events — time never moves backwards.
+func (s *Scheduler) At(t vtime.Ticks, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (s *Scheduler) After(d vtime.Duration, fn func()) {
+	s.At(s.now.Add(d), fn)
+}
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Steps reports how many events have been executed.
+func (s *Scheduler) Steps() int { return s.nSteps }
+
+// Step executes the next event, advancing time to it. It reports whether
+// an event was executed.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.nSteps++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (s *Scheduler) Run() vtime.Ticks {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with time ≤ deadline; events scheduled later
+// stay queued. Time advances to the deadline if the queue drains first or
+// only later events remain.
+func (s *Scheduler) RunUntil(deadline vtime.Ticks) vtime.Ticks {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 30 {
+		t.Errorf("final time = %d, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New(1)
+	var fired vtime.Ticks = -1
+	s.At(10, func() {
+		s.After(5, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 15 {
+		t.Errorf("After(5) at t=10 fired at %d, want 15", fired)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	s := New(1)
+	var fired vtime.Ticks = -1
+	s.At(10, func() {
+		s.At(3, func() { fired = s.Now() }) // in the past
+	})
+	s.Run()
+	if fired != 10 {
+		t.Errorf("past event fired at %d, want clamp to 10", fired)
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	s := New(1)
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	if !s.Step() {
+		t.Fatal("Step should execute an event")
+	}
+	if s.Pending() != 1 || s.Steps() != 1 {
+		t.Errorf("after one step: pending=%d steps=%d", s.Pending(), s.Steps())
+	}
+	s.Run()
+	if s.Step() {
+		t.Error("Step on empty queue should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var ran []vtime.Ticks
+	for _, at := range []vtime.Ticks{5, 10, 15, 20} {
+		at := at
+		s.At(at, func() { ran = append(ran, at) })
+	}
+	now := s.RunUntil(12)
+	if now != 12 {
+		t.Errorf("RunUntil returned %d, want 12", now)
+	}
+	if len(ran) != 2 {
+		t.Errorf("ran %v, want events at 5 and 10 only", ran)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	// Finishing the run picks up the rest.
+	s.Run()
+	if len(ran) != 4 {
+		t.Errorf("after Run: ran %v, want all 4", ran)
+	}
+}
+
+func TestRunUntilAdvancesIdleTime(t *testing.T) {
+	s := New(1)
+	if now := s.RunUntil(100); now != 100 {
+		t.Errorf("idle RunUntil = %d, want 100", now)
+	}
+}
+
+func TestCascadedEvents(t *testing.T) {
+	// Events scheduling events: a chain of N hops lands at tick N.
+	s := New(1)
+	const hops = 50
+	count := 0
+	var hop func()
+	hop = func() {
+		count++
+		if count < hops {
+			s.After(1, hop)
+		}
+	}
+	s.After(1, hop)
+	end := s.Run()
+	if count != hops || end != hops {
+		t.Errorf("count=%d end=%d, want %d/%d", count, end, hops, hops)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 10; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed should give identical random streams")
+		}
+	}
+}

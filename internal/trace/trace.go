@@ -1,0 +1,188 @@
+// Package trace records the observable events of a swap execution as a
+// structured, thread-safe log.
+//
+// The runner, chains, and parties append events; tests assert orderings and
+// deadlines against the log; examples and cmd/swapsim render it as the
+// step-by-step timelines of the paper's Figures 1 and 2.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// Kind identifies what happened.
+type Kind int
+
+// Event kinds, covering every observable protocol transition.
+const (
+	// KindContractPublished records a swap contract appearing on a chain.
+	KindContractPublished Kind = iota + 1
+	// KindContractRejected records a party abandoning after verifying an
+	// incorrect contract on an entering arc.
+	KindContractRejected
+	// KindUnlocked records a hashlock being unlocked on an arc's contract.
+	KindUnlocked
+	// KindUnlockFailed records a rejected unlock attempt (expired hashkey,
+	// bad signature, wrong sender, and so on).
+	KindUnlockFailed
+	// KindClaimed records the counterparty taking the escrowed asset.
+	KindClaimed
+	// KindRefunded records the original party reclaiming the escrowed asset.
+	KindRefunded
+	// KindSecretRevealed records a leader first disclosing its secret.
+	KindSecretRevealed
+	// KindAbandoned records a party halting participation.
+	KindAbandoned
+	// KindBroadcast records a message published on the shared broadcast
+	// chain (the Section 4.5 optimization or market-clearing traffic).
+	KindBroadcast
+	// KindDeviation records an adversarial action that departs from the
+	// conforming protocol, for test assertions and demo narration.
+	KindDeviation
+)
+
+var kindNames = map[Kind]string{
+	KindContractPublished: "contract-published",
+	KindContractRejected:  "contract-rejected",
+	KindUnlocked:          "unlocked",
+	KindUnlockFailed:      "unlock-failed",
+	KindClaimed:           "claimed",
+	KindRefunded:          "refunded",
+	KindSecretRevealed:    "secret-revealed",
+	KindAbandoned:         "abandoned",
+	KindBroadcast:         "broadcast",
+	KindDeviation:         "deviation",
+}
+
+// String returns the lowercase event-kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one observable occurrence during a run.
+type Event struct {
+	At     vtime.Ticks
+	Kind   Kind
+	Party  string // acting party, "" when not applicable
+	Arc    int    // arc ID, -1 when not applicable
+	Lock   int    // hashlock index, -1 when not applicable
+	Detail string
+}
+
+// String renders the event as a single trace line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%-6d %-20s", int64(e.At), e.Kind)
+	if e.Party != "" {
+		fmt.Fprintf(&b, " party=%s", e.Party)
+	}
+	if e.Arc >= 0 {
+		fmt.Fprintf(&b, " arc=%d", e.Arc)
+	}
+	if e.Lock >= 0 {
+		fmt.Fprintf(&b, " lock=%d", e.Lock)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
+}
+
+// Log is an append-only, thread-safe event log. The zero value is ready to
+// use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Append adds an event to the log.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Len reports the number of events recorded so far.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the log, in append order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Filter returns the events for which keep returns true, in append order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OfKind returns the events of the given kind, in append order.
+func (l *Log) OfKind(k Kind) []Event {
+	return l.Filter(func(e Event) bool { return e.Kind == k })
+}
+
+// First returns the earliest event of the given kind and whether one exists.
+func (l *Log) First(k Kind) (Event, bool) {
+	evs := l.OfKind(k)
+	if len(evs) == 0 {
+		return Event{}, false
+	}
+	min := evs[0]
+	for _, e := range evs[1:] {
+		if e.At < min.At {
+			min = e
+		}
+	}
+	return min, true
+}
+
+// Last returns the latest event of the given kind and whether one exists.
+func (l *Log) Last(k Kind) (Event, bool) {
+	evs := l.OfKind(k)
+	if len(evs) == 0 {
+		return Event{}, false
+	}
+	max := evs[0]
+	for _, e := range evs[1:] {
+		if e.At >= max.At {
+			max = e
+		}
+	}
+	return max, true
+}
+
+// Render formats the whole log, sorted by time (stable for ties), one event
+// per line.
+func (l *Log) Render() string {
+	evs := l.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindContractPublished, "contract-published"},
+		{KindUnlocked, "unlocked"},
+		{KindClaimed, "claimed"},
+		{KindRefunded, "refunded"},
+		{KindSecretRevealed, "secret-revealed"},
+		{KindDeviation, "deviation"},
+		{Kind(999), "kind(999)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestAppendAndEvents(t *testing.T) {
+	var l Log
+	l.Append(Event{At: 5, Kind: KindContractPublished, Party: "alice", Arc: 0, Lock: -1})
+	l.Append(Event{At: 3, Kind: KindUnlocked, Party: "bob", Arc: 1, Lock: 0})
+
+	if l.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].Party != "alice" || evs[1].Party != "bob" {
+		t.Errorf("Events() not in append order: %+v", evs)
+	}
+	// Mutating the returned slice must not affect the log.
+	evs[0].Party = "mallory"
+	if l.Events()[0].Party != "alice" {
+		t.Error("Events() returned a live reference to internal state")
+	}
+}
+
+func TestFilterAndOfKind(t *testing.T) {
+	var l Log
+	l.Append(Event{At: 1, Kind: KindContractPublished})
+	l.Append(Event{At: 2, Kind: KindUnlocked})
+	l.Append(Event{At: 3, Kind: KindContractPublished})
+
+	if got := len(l.OfKind(KindContractPublished)); got != 2 {
+		t.Errorf("OfKind(published) = %d events, want 2", got)
+	}
+	if got := len(l.OfKind(KindClaimed)); got != 0 {
+		t.Errorf("OfKind(claimed) = %d events, want 0", got)
+	}
+	late := l.Filter(func(e Event) bool { return e.At >= 2 })
+	if len(late) != 2 {
+		t.Errorf("Filter(at>=2) = %d events, want 2", len(late))
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	var l Log
+	if _, ok := l.First(KindClaimed); ok {
+		t.Error("First on empty log should report not found")
+	}
+	if _, ok := l.Last(KindClaimed); ok {
+		t.Error("Last on empty log should report not found")
+	}
+	l.Append(Event{At: 7, Kind: KindClaimed, Party: "b"})
+	l.Append(Event{At: 2, Kind: KindClaimed, Party: "a"})
+	l.Append(Event{At: 9, Kind: KindClaimed, Party: "c"})
+
+	first, ok := l.First(KindClaimed)
+	if !ok || first.Party != "a" {
+		t.Errorf("First = %+v, ok=%v, want party a", first, ok)
+	}
+	last, ok := l.Last(KindClaimed)
+	if !ok || last.Party != "c" {
+		t.Errorf("Last = %+v, ok=%v, want party c", last, ok)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 12, Kind: KindUnlocked, Party: "carol", Arc: 2, Lock: 1, Detail: "path=[C A]"}
+	s := e.String()
+	for _, want := range []string{"t=12", "unlocked", "party=carol", "arc=2", "lock=1", "path=[C A]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q, missing %q", s, want)
+		}
+	}
+	// Omitted fields stay out of the rendering.
+	e2 := Event{At: 1, Kind: KindAbandoned, Arc: -1, Lock: -1}
+	s2 := e2.String()
+	if strings.Contains(s2, "arc=") || strings.Contains(s2, "lock=") || strings.Contains(s2, "party=") {
+		t.Errorf("Event.String() = %q should omit empty fields", s2)
+	}
+}
+
+func TestRenderSortsByTime(t *testing.T) {
+	var l Log
+	l.Append(Event{At: 30, Kind: KindClaimed, Arc: -1, Lock: -1})
+	l.Append(Event{At: 10, Kind: KindContractPublished, Arc: -1, Lock: -1})
+	l.Append(Event{At: 20, Kind: KindUnlocked, Arc: -1, Lock: -1})
+
+	lines := strings.Split(strings.TrimSpace(l.Render()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Render() produced %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[0], "t=10") || !strings.Contains(lines[2], "t=30") {
+		t.Errorf("Render() not time-sorted:\n%s", l.Render())
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Append(Event{At: 1, Kind: KindBroadcast})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != goroutines*perG {
+		t.Errorf("Len() = %d, want %d", l.Len(), goroutines*perG)
+	}
+}

@@ -1,0 +1,72 @@
+// Package vtime provides the virtual-time primitives shared by the swap
+// protocol, the mock blockchains, and the discrete-event simulator.
+//
+// The paper's timing model is built around a single known duration Δ: long
+// enough for one party to publish a smart contract on any blockchain (or
+// change a contract's state) and for another party to detect the change.
+// All protocol deadlines are integer multiples of Δ measured from a start
+// time, so time is modeled as integer ticks rather than wall-clock time.
+package vtime
+
+import "strconv"
+
+// Ticks is an absolute instant in virtual time.
+type Ticks int64
+
+// Duration is a span of virtual time.
+type Duration int64
+
+// Add returns the instant d after t.
+func (t Ticks) Add(d Duration) Ticks { return t + Ticks(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Ticks) Sub(u Ticks) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Ticks) Before(u Ticks) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Ticks) After(u Ticks) bool { return t > u }
+
+// String renders the instant as a plain tick count.
+func (t Ticks) String() string { return strconv.FormatInt(int64(t), 10) }
+
+// Scale returns n·d. It is the usual way to express protocol deadlines such
+// as (diam(D) + |p|)·Δ.
+func Scale(n int, d Duration) Duration { return Duration(n) * d }
+
+// InDelta renders a duration as a multiple of the given Δ, e.g. "3Δ" or
+// "2.5Δ", for human-readable traces and experiment tables.
+func InDelta(d, delta Duration) string {
+	if delta <= 0 {
+		return strconv.FormatInt(int64(d), 10)
+	}
+	whole := d / delta
+	rem := d % delta
+	if rem == 0 {
+		return strconv.FormatInt(int64(whole), 10) + "Δ"
+	}
+	// One decimal of precision is enough for traces.
+	tenths := (rem*10 + delta/2) / delta
+	if tenths == 10 {
+		whole++
+		tenths = 0
+	}
+	if tenths == 0 {
+		return strconv.FormatInt(int64(whole), 10) + "Δ"
+	}
+	return strconv.FormatInt(int64(whole), 10) + "." + strconv.FormatInt(int64(tenths), 10) + "Δ"
+}
+
+// Clock supplies the current virtual time. The discrete-event simulator
+// implements it for deterministic runs; a real deployment would adapt
+// wall-clock time.
+type Clock interface {
+	Now() Ticks
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() Ticks
+
+// Now implements Clock.
+func (f ClockFunc) Now() Ticks { return f() }

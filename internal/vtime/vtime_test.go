@@ -1,0 +1,103 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTicksArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		base Ticks
+		d    Duration
+		want Ticks
+	}{
+		{name: "zero plus zero", base: 0, d: 0, want: 0},
+		{name: "positive offset", base: 10, d: 5, want: 15},
+		{name: "negative offset", base: 10, d: -3, want: 7},
+		{name: "large values", base: 1 << 40, d: 1 << 20, want: 1<<40 + 1<<20},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.base.Add(tt.d); got != tt.want {
+				t.Errorf("Add(%d, %d) = %d, want %d", tt.base, tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSubInvertsAdd(t *testing.T) {
+	f := func(base int64, d int32) bool {
+		b := Ticks(base)
+		dur := Duration(d)
+		return b.Add(dur).Sub(b) == dur
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	if !Ticks(1).Before(2) {
+		t.Error("1 should be before 2")
+	}
+	if Ticks(2).Before(2) {
+		t.Error("2 should not be before itself")
+	}
+	if !Ticks(3).After(2) {
+		t.Error("3 should be after 2")
+	}
+	if Ticks(2).After(2) {
+		t.Error("2 should not be after itself")
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := Scale(3, 10); got != 30 {
+		t.Errorf("Scale(3, 10) = %d, want 30", got)
+	}
+	if got := Scale(0, 10); got != 0 {
+		t.Errorf("Scale(0, 10) = %d, want 0", got)
+	}
+}
+
+func TestInDelta(t *testing.T) {
+	tests := []struct {
+		name  string
+		d     Duration
+		delta Duration
+		want  string
+	}{
+		{name: "exact multiple", d: 30, delta: 10, want: "3Δ"},
+		{name: "zero", d: 0, delta: 10, want: "0Δ"},
+		{name: "half", d: 25, delta: 10, want: "2.5Δ"},
+		{name: "rounds up to next whole", d: 29, delta: 10, want: "2.9Δ"},
+		{name: "rounding carries", d: 2999, delta: 1000, want: "3Δ"},
+		{name: "degenerate delta", d: 17, delta: 0, want: "17"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := InDelta(tt.d, tt.delta); got != tt.want {
+				t.Errorf("InDelta(%d, %d) = %q, want %q", tt.d, tt.delta, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClockFunc(t *testing.T) {
+	var now Ticks = 42
+	var c Clock = ClockFunc(func() Ticks { return now })
+	if c.Now() != 42 {
+		t.Errorf("Now() = %d, want 42", c.Now())
+	}
+	now = 43
+	if c.Now() != 43 {
+		t.Errorf("Now() = %d, want 43", c.Now())
+	}
+}
+
+func TestTicksString(t *testing.T) {
+	if got := Ticks(123).String(); got != "123" {
+		t.Errorf("String() = %q, want %q", got, "123")
+	}
+}
