@@ -29,11 +29,14 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/adversary"
 	"github.com/go-atomicswap/atomicswap/internal/audit"
 	"github.com/go-atomicswap/atomicswap/internal/baseline"
+	"github.com/go-atomicswap/atomicswap/internal/chain"
 	"github.com/go-atomicswap/atomicswap/internal/conc"
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
 	"github.com/go-atomicswap/atomicswap/internal/outcome"
 	"github.com/go-atomicswap/atomicswap/internal/pebble"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
@@ -111,6 +114,14 @@ const (
 	Discount = outcome.Discount
 	// FreeRide means something received, nothing paid.
 	FreeRide = outcome.FreeRide
+)
+
+// Chain-level identifiers.
+type (
+	// PartyID identifies a protocol participant across all chains.
+	PartyID = chain.PartyID
+	// AssetID identifies an asset within its chain.
+	AssetID = chain.AssetID
 )
 
 // Crypto material.
@@ -251,4 +262,44 @@ type (
 // Behaviors defaults to conforming; entries override per vertex.
 func RunConcurrent(setup *Setup, behaviors map[Vertex]Behavior, cfg ConcConfig) (*ConcResult, error) {
 	return conc.Run(setup, behaviors, cfg)
+}
+
+// Clearing engine: the long-running swap service. Submit offers from any
+// goroutine; a clearing loop matches them into concurrent swaps over
+// shared chains; Report() gives service-level throughput.
+type (
+	// Engine is the continuous-intake multi-swap clearing service.
+	Engine = engine.Engine
+	// EngineConfig parameterizes an Engine.
+	EngineConfig = engine.Config
+	// OrderID identifies a submitted offer.
+	OrderID = engine.OrderID
+	// OrderStatus tracks an order through intake, clearing, execution.
+	OrderStatus = engine.OrderStatus
+	// OrderSnapshot is an order's caller-visible state.
+	OrderSnapshot = engine.OrderSnapshot
+	// Throughput is the engine's aggregate service report.
+	Throughput = metrics.Throughput
+)
+
+// Order statuses.
+const (
+	// OrderPending awaits counterparties in the book.
+	OrderPending = engine.StatusPending
+	// OrderExecuting is matched into an in-flight swap.
+	OrderExecuting = engine.StatusExecuting
+	// OrderSettled finished; the snapshot carries the payoff class.
+	OrderSettled = engine.StatusSettled
+	// OrderRejected was refused; the snapshot carries the reason.
+	OrderRejected = engine.StatusRejected
+)
+
+// NewEngine creates a clearing engine (call Start before Submit).
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// ClearBatch partitions a batch of offers into disjoint swap setups plus
+// the residual offers that cannot clear yet — the multi-swap
+// generalization of Clear.
+func ClearBatch(offers []Offer, base Config) ([]*Setup, []Offer, error) {
+	return core.ClearBatch(offers, base)
 }

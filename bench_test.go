@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/go-atomicswap/atomicswap/internal/adversary"
 	"github.com/go-atomicswap/atomicswap/internal/baseline"
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/pebble"
@@ -128,6 +130,44 @@ func BenchmarkRecurrent(b *testing.B) {
 		if _, err := core.RunRecurrent(d, 5, true, rand.New(rand.NewSource(int64(i))), int64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineThroughput is E18: the clearing engine end to end at
+// 1, 8, and 64 concurrent swaps. Each iteration pushes a full load of
+// three-party barter rings through a fresh engine over shared chains and
+// reports offers/sec and swaps/sec (wall-clock service rates, so run with
+// -benchtime=1x or a small count).
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, workers := range []int{1, 8, 64} {
+		workers := workers
+		b.Run(fmt.Sprintf("swaps-%d", workers), func(b *testing.B) {
+			rings := 2 * workers
+			var offers, swaps float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := engine.RunLoad(engine.Config{
+					Workers:       workers,
+					Tick:          time.Millisecond,
+					Delta:         20,
+					ClearInterval: time.Millisecond,
+					MaxBatch:      4096,
+					Seed:          int64(i + 1),
+				}, rings, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.SwapsFinished != rings || rep.SwapsFailed != 0 {
+					b.Fatalf("finished %d swaps (%d failed), want %d clean",
+						rep.SwapsFinished, rep.SwapsFailed, rings)
+				}
+				offers += rep.OffersPerSec
+				swaps += rep.SwapsPerSec
+			}
+			b.ReportMetric(offers/float64(b.N), "offers/sec")
+			b.ReportMetric(swaps/float64(b.N), "swaps/sec")
+		})
 	}
 }
 

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	swapbench [-only E5[,E9,...]]
+//	swapbench -engine-json
+//
+// With -engine-json it instead sweeps the clearing engine at 1, 8, and 64
+// concurrent swaps and emits one JSON object per line (the BENCH
+// trajectory format), skipping the experiment tables.
 package main
 
 import (
@@ -12,13 +17,46 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/expt"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
+
+// engineSweep pushes a fixed ring load through the engine at increasing
+// concurrency and prints {"concurrency":N,...} JSON lines.
+func engineSweep() error {
+	for _, workers := range []int{1, 8, 64} {
+		rep, err := engine.RunLoad(engine.Config{
+			Workers:       workers,
+			Tick:          time.Millisecond,
+			Delta:         vtime.Duration(20),
+			ClearInterval: time.Millisecond,
+			MaxBatch:      4096,
+			Seed:          int64(workers),
+		}, 2*workers, 3)
+		if err != nil {
+			return fmt.Errorf("engine sweep at %d: %w", workers, err)
+		}
+		fmt.Printf("{\"bench\":\"engine_throughput\",\"concurrency\":%d,\"report\":%s}\n",
+			workers, rep.JSON())
+	}
+	return nil
+}
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	engineJSON := flag.Bool("engine-json", false, "emit engine throughput sweep as JSON and exit")
 	flag.Parse()
+
+	if *engineJSON {
+		if err := engineSweep(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {

@@ -1,0 +1,121 @@
+// Command swapd is the clearing-engine load driver: it spins up an
+// engine, floods it with generated barter-ring offers (optionally with
+// adversarial swaps and deliberate double-spend attempts), drains, and
+// reports service-level throughput.
+//
+// Usage:
+//
+//	swapd [-offers 3000] [-workers 64] [-ring-min 2] [-ring-max 5]
+//	      [-adversary 0.1] [-conflicts 0.05] [-tick 2ms] [-delta 30]
+//	      [-seed 1] [-json]
+//
+// With -json the report is a single JSON object (the BENCH trajectory
+// format); otherwise a human-readable summary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+var chainNames = []string{"btc", "eth", "sol", "ada", "dot", "xmr", "ltc", "atom"}
+
+func main() {
+	var (
+		offers    = flag.Int("offers", 3000, "approximate number of offers to submit")
+		workers   = flag.Int("workers", 64, "executor pool size (concurrent swaps)")
+		ringMin   = flag.Int("ring-min", 2, "smallest barter-ring size")
+		ringMax   = flag.Int("ring-max", 5, "largest barter-ring size")
+		adversary = flag.Float64("adversary", 0, "fraction of swaps given a silent leader")
+		conflicts = flag.Float64("conflicts", 0, "fraction of rings that re-spend an earlier asset")
+		tick      = flag.Duration("tick", 2*time.Millisecond, "wall duration of one virtual tick")
+		delta     = flag.Int("delta", 30, "per-swap delta in ticks")
+		seed      = flag.Int64("seed", 1, "load-generation seed")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "drain deadline")
+	)
+	flag.Parse()
+	if *ringMin < 2 || *ringMax < *ringMin {
+		log.Fatal("need 2 <= ring-min <= ring-max")
+	}
+
+	eng := engine.New(engine.Config{
+		Workers:       *workers,
+		MaxBatch:      4096,
+		Tick:          *tick,
+		Delta:         vtime.Duration(*delta),
+		AdversaryRate: *adversary,
+		Seed:          *seed,
+	})
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	submitted, rejected := 0, 0
+	var lastRingAsset core.ProposedTransfer
+	var lastRingParty chain.PartyID
+	for ring := 0; submitted < *offers; ring++ {
+		size := *ringMin + rng.Intn(*ringMax-*ringMin+1)
+		members := make([]chain.PartyID, size)
+		for i := range members {
+			members[i] = chain.PartyID(fmt.Sprintf("r%d-p%d", ring, i))
+		}
+		respend := *conflicts > 0 && rng.Float64() < *conflicts && lastRingParty != ""
+		for i, p := range members {
+			tr := core.ProposedTransfer{
+				To:     members[(i+1)%size],
+				Chain:  chainNames[rng.Intn(len(chainNames))],
+				Asset:  chain.AssetID(fmt.Sprintf("asset-r%d-%d", ring, i)),
+				Amount: uint64(1 + rng.Intn(1000)),
+			}
+			party := p
+			if respend && i == 0 {
+				// Deliberate double-spend attempt: the earlier ring's party
+				// offers the same asset again into this ring. The engine
+				// must serialize or reject it, never double-commit.
+				party = lastRingParty
+				tr.Chain, tr.Asset, tr.Amount = lastRingAsset.Chain, lastRingAsset.Asset, lastRingAsset.Amount
+			}
+			if _, err := eng.Submit(core.Offer{Party: party, Give: []core.ProposedTransfer{tr}}); err != nil {
+				rejected++
+				continue
+			}
+			submitted++
+			if i == 0 && !respend {
+				lastRingParty, lastRingAsset = party, tr
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := eng.Stop(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	if err := eng.VerifyConservation(); err != nil {
+		log.Fatalf("CONSERVATION VIOLATED: %v", err)
+	}
+
+	rep := eng.Report()
+	if *jsonOut {
+		fmt.Println(rep.JSON())
+		return
+	}
+	fmt.Printf("load: %d offers submitted (%d refused at intake), conservation verified\n\n",
+		submitted, rejected)
+	fmt.Println(rep)
+	if rep.SwapsFailed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// The clearing engine under load: thousands of offers stream into one
+// long-running engine, which matches them into hundreds of swaps and
+// executes those concurrently over a handful of shared chains. At the end
+// the registry conservation invariant proves no asset was double-spent:
+// every deposited asset still exists exactly once, party-owned, with its
+// ledger hash chain intact.
+//
+// The whole service interaction is five lines:
+//
+//	eng := atomicswap.NewEngine(atomicswap.EngineConfig{Workers: 128})
+//	eng.Start()
+//	id, _ := eng.Submit(offer)            // × thousands, any goroutine
+//	eng.Stop(ctx)                         // drain the book, finish swaps
+//	fmt.Println(eng.Report())             // swaps/sec, latency, outcomes
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	atomicswap "github.com/go-atomicswap/atomicswap"
+)
+
+// chains is the small shared set of mock blockchains every swap runs over.
+var chains = []string{"btc", "eth", "sol", "ada", "dot", "xmr"}
+
+func main() {
+	eng := atomicswap.NewEngine(atomicswap.EngineConfig{
+		Workers:       128,
+		MaxBatch:      2048,
+		Tick:          2 * time.Millisecond,
+		Delta:         30,
+		ClearInterval: 2 * time.Millisecond,
+		Seed:          2018,
+	})
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 350 barter rings of three parties each: 1050 offers, 350 swaps.
+	const rings = 350
+	offers := 0
+	for r := 0; r < rings; r++ {
+		members := []string{
+			fmt.Sprintf("p%d-a", r), fmt.Sprintf("p%d-b", r), fmt.Sprintf("p%d-c", r),
+		}
+		for i, p := range members {
+			offer := atomicswap.Offer{
+				Party: atomicswap.PartyID(p),
+				Give: []atomicswap.ProposedTransfer{{
+					To:     atomicswap.PartyID(members[(i+1)%len(members)]),
+					Chain:  chains[(r+i)%len(chains)],
+					Asset:  atomicswap.AssetID(fmt.Sprintf("asset-%d-%d", r, i)),
+					Amount: uint64(1 + r%97),
+				}},
+			}
+			if _, err := eng.Submit(offer); err != nil {
+				log.Fatalf("submit: %v", err)
+			}
+			offers++
+		}
+	}
+	fmt.Printf("submitted %d offers across %d barter rings on %d shared chains\n",
+		offers, rings, len(chains))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := eng.Stop(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+
+	rep := eng.Report()
+	fmt.Println()
+	fmt.Println(rep)
+
+	// The acceptance bar: a real clearing service, not a demo loop.
+	if rep.OffersCleared < 1000 {
+		log.Fatalf("FAIL: cleared %d offers, want >= 1000", rep.OffersCleared)
+	}
+	if rep.PeakConcurrent < 100 {
+		log.Fatalf("FAIL: peak concurrency %d, want >= 100", rep.PeakConcurrent)
+	}
+	// Zero double-spends, by construction and by audit: every minted
+	// asset exists exactly once, party-owned, ledgers intact.
+	if err := eng.VerifyConservation(); err != nil {
+		log.Fatalf("FAIL: conservation: %v", err)
+	}
+	if n := eng.Registry().Reservations(); n != 0 {
+		log.Fatalf("FAIL: %d reservations leaked", n)
+	}
+	fmt.Printf("\nOK: %d offers cleared into %d swaps (peak %d concurrent), "+
+		"%.1f swaps/sec, conservation verified on %d chains\n",
+		rep.OffersCleared, rep.SwapsFinished, rep.PeakConcurrent,
+		rep.SwapsPerSec, len(eng.Registry().Names()))
+}

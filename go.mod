@@ -1,0 +1,3 @@
+module github.com/go-atomicswap/atomicswap
+
+go 1.24

@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
@@ -203,7 +204,10 @@ type Chain struct {
 	closed    map[ContractID]bool
 	records   []Record
 	storage   int
-	observer  func(Notification)
+	observers map[string]func(Notification)
+	// obsList is the key-sorted snapshot of observers, rebuilt on
+	// (un)subscribe so the per-notification hot path never sorts.
+	obsList []func(Notification)
 }
 
 // New creates an empty chain with the given name, reading timestamps from
@@ -216,19 +220,57 @@ func New(name string, clock vtime.Clock) *Chain {
 		owners:    make(map[AssetID]Owner),
 		contracts: make(map[ContractID]Contract),
 		closed:    make(map[ContractID]bool),
+		observers: make(map[string]func(Notification)),
 	}
 }
 
 // Name returns the chain name.
 func (c *Chain) Name() string { return c.name }
 
-// SetObserver registers the single observer callback, invoked synchronously
+// SetObserver registers the default observer callback, invoked synchronously
 // (at ledger time) for every recorded change. The runner fans out to
-// watching parties with the modeled Δ latency.
+// watching parties with the modeled Δ latency. SetObserver replaces only a
+// previous SetObserver; keyed subscriptions are unaffected.
 func (c *Chain) SetObserver(fn func(Notification)) {
+	c.Subscribe("", fn)
+}
+
+// Subscribe registers (or replaces) an observer under the given key.
+// Many subscribers can watch one chain — this is what lets concurrent
+// swap runtimes share chains, each filtering for its own contracts.
+func (c *Chain) Subscribe(key string, fn func(Notification)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.observer = fn
+	if fn == nil {
+		delete(c.observers, key)
+	} else {
+		c.observers[key] = fn
+	}
+	c.rebuildObsLocked()
+}
+
+// Unsubscribe removes the observer registered under key, if any.
+func (c *Chain) Unsubscribe(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.observers, key)
+	c.rebuildObsLocked()
+}
+
+// rebuildObsLocked regenerates the sorted observer snapshot. Keys are
+// sorted for deterministic delivery under the discrete-event runtime.
+// The caller must hold c.mu.
+func (c *Chain) rebuildObsLocked() {
+	keys := make([]string, 0, len(c.observers))
+	for k := range c.observers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	list := make([]func(Notification), len(keys))
+	for i, k := range keys {
+		list[i] = c.observers[k]
+	}
+	c.obsList = list
 }
 
 // RegisterAsset mints an asset owned by the given party.
@@ -385,17 +427,18 @@ func (c *Chain) PublishData(sender PartyID, note string, payload any, size int) 
 	c.emit(n)
 }
 
-// emit delivers notifications to the observer outside the chain lock, so
-// observers may freely read chain state.
+// emit delivers notifications to every observer outside the chain lock, so
+// observers may freely read chain state. The snapshot slice is immutable
+// (rebuilt wholesale on subscription changes), so reading the reference
+// under the lock is enough.
 func (c *Chain) emit(notes ...Notification) {
 	c.mu.Lock()
-	observer := c.observer
+	observers := c.obsList
 	c.mu.Unlock()
-	if observer == nil {
-		return
-	}
 	for _, n := range notes {
-		observer(n)
+		for _, fn := range observers {
+			fn(n)
+		}
 	}
 }
 

@@ -1,46 +1,127 @@
 package chain
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
-// Registry is the set of chains a swap spans — one per asset class, or one
-// per arc; the protocol does not care. It provides the cross-chain
-// aggregates the experiments measure.
+// regShards is the number of lock shards in the registry. Chain lookup is
+// on the hot path of every contract call in a multi-swap run, so the chain
+// map is sharded by name rather than guarded by one mutex.
+const regShards = 32
+
+// Registry is the set of chains a swap (or a whole clearing engine) spans.
+// It provides the cross-chain aggregates the experiments measure, fans
+// registry-wide subscriptions out to chains as they are created, and hosts
+// the asset-reservation table that keeps concurrent swaps from
+// double-committing the same asset.
 type Registry struct {
 	clock vtime.Clock
 
-	mu     sync.Mutex
-	chains map[string]*Chain
+	shards [regShards]struct {
+		mu     sync.RWMutex
+		chains map[string]*Chain
+	}
+
+	// subMu guards registry-wide subscriptions, applied to every chain
+	// including ones created later.
+	subMu sync.Mutex
+	subs  map[string]func(Notification)
+
+	// resMu guards the reservation table: "chain\x00asset" -> holder.
+	resMu sync.Mutex
+	res   map[string]string
 }
+
+// Reservation errors.
+var (
+	// ErrAssetReserved means another in-flight swap holds the asset.
+	ErrAssetReserved = errors.New("chain: asset reserved by another swap")
+	// ErrAssetUnavailable means the asset does not exist or is not owned
+	// directly by the reserving party (it may be escrowed or spent).
+	ErrAssetUnavailable = errors.New("chain: asset not available to reserve")
+)
 
 // NewRegistry creates an empty registry whose chains share the clock.
 func NewRegistry(clock vtime.Clock) *Registry {
-	return &Registry{clock: clock, chains: make(map[string]*Chain)}
+	r := &Registry{
+		clock: clock,
+		subs:  make(map[string]func(Notification)),
+		res:   make(map[string]string),
+	}
+	for i := range r.shards {
+		r.shards[i].chains = make(map[string]*Chain)
+	}
+	return r
 }
 
-// Chain returns the named chain, creating it on first use.
+// shardOf is inline FNV-1a: Registry.Chain runs on every contract call,
+// so the hash must not allocate.
+func shardOf(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h % regShards)
+}
+
+// Chain returns the named chain, creating it on first use. Creation
+// installs every registry-wide subscription on the new chain.
 func (r *Registry) Chain(name string) *Chain {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.chains[name]
+	s := &r.shards[shardOf(name)]
+	s.mu.RLock()
+	c, ok := s.chains[name]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s.mu.Lock()
+	c, ok = s.chains[name]
 	if !ok {
 		c = New(name, r.clock)
-		r.chains[name] = c
+		// Registry-wide subscriptions are applied before the chain becomes
+		// visible (readers block on the shard lock until we release it), so
+		// no notification can ever be emitted unobserved. A SubscribeAll
+		// racing this creation either lands in r.subs first (we apply it
+		// here) or sees the chain in its own sweep — double application is
+		// an idempotent map write. Nobody acquires a shard lock while
+		// holding subMu, so the s.mu → subMu order here cannot deadlock.
+		r.subMu.Lock()
+		for key, fn := range r.subs {
+			c.Subscribe(key, fn)
+		}
+		r.subMu.Unlock()
+		s.chains[name] = c
 	}
+	s.mu.Unlock()
 	return c
+}
+
+// all returns every chain, unsorted.
+func (r *Registry) all() []*Chain {
+	var out []*Chain
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for _, c := range s.chains {
+			out = append(out, c)
+		}
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // Names returns the sorted chain names.
 func (r *Registry) Names() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.chains))
-	for n := range r.chains {
-		names = append(names, n)
+	chains := r.all()
+	names := make([]string, len(chains))
+	for i, c := range chains {
+		names[i] = c.Name()
 	}
 	sort.Strings(names)
 	return names
@@ -50,25 +131,104 @@ func (r *Registry) Names() []string {
 // by Theorem 4.10.
 func (r *Registry) TotalStorageBytes() int {
 	total := 0
-	for _, name := range r.Names() {
-		total += r.Chain(name).StorageBytes()
+	for _, c := range r.all() {
+		total += c.StorageBytes()
 	}
 	return total
 }
 
-// SetObserverAll installs the observer on every existing chain and
+// SetObserverAll installs the default observer on every existing chain and
 // remembers nothing: call it after all chains are created, or create
-// chains up front.
+// chains up front. Concurrent runtimes should use SubscribeAll instead.
 func (r *Registry) SetObserverAll(fn func(Notification)) {
-	for _, name := range r.Names() {
-		r.Chain(name).SetObserver(fn)
+	for _, c := range r.all() {
+		c.SetObserver(fn)
 	}
+}
+
+// SubscribeAll registers fn under key on every chain, present and future.
+// It is how each per-swap runtime watches shared chains without clobbering
+// the other swaps' observers. UnsubscribeAll(key) removes it everywhere.
+func (r *Registry) SubscribeAll(key string, fn func(Notification)) {
+	r.subMu.Lock()
+	r.subs[key] = fn
+	r.subMu.Unlock()
+	for _, c := range r.all() {
+		c.Subscribe(key, fn)
+	}
+}
+
+// UnsubscribeAll removes the keyed subscription from every chain and from
+// the future-chain list.
+func (r *Registry) UnsubscribeAll(key string) {
+	r.subMu.Lock()
+	delete(r.subs, key)
+	r.subMu.Unlock()
+	for _, c := range r.all() {
+		c.Unsubscribe(key)
+	}
+}
+
+func resKey(chainName string, asset AssetID) string {
+	return chainName + "\x00" + string(asset)
+}
+
+// Reserve marks an asset as committed to one in-flight swap (the holder).
+// It fails if the asset is not currently owned directly by owner, or if a
+// different holder already reserved it. Reservation is the engine-level
+// coordination lock; the chain's own ownership checks remain the safety
+// net underneath it.
+func (r *Registry) Reserve(chainName string, asset AssetID, owner PartyID, holder string) error {
+	c := r.Chain(chainName)
+	key := resKey(chainName, asset)
+	// The reservation check comes first and the table stays locked across
+	// the ownership read: an asset escrowed by an in-flight swap is still
+	// reserved, and must report "reserved" (retry later), not
+	// "unavailable" (permanent) — and two racing reservers must not both
+	// pass the ownership check and overwrite each other.
+	r.resMu.Lock()
+	defer r.resMu.Unlock()
+	if h, exists := r.res[key]; exists && h != holder {
+		return fmt.Errorf("%w: %s/%s held by %s", ErrAssetReserved, chainName, asset, h)
+	}
+	cur, ok := c.OwnerOf(asset)
+	if !ok || cur.Kind != OwnerParty || cur.Party != owner {
+		return fmt.Errorf("%w: %s/%s (owner %s, want party %s)",
+			ErrAssetUnavailable, chainName, asset, cur, owner)
+	}
+	r.res[key] = holder
+	return nil
+}
+
+// Release drops a reservation if (and only if) holder still holds it.
+func (r *Registry) Release(chainName string, asset AssetID, holder string) {
+	key := resKey(chainName, asset)
+	r.resMu.Lock()
+	defer r.resMu.Unlock()
+	if r.res[key] == holder {
+		delete(r.res, key)
+	}
+}
+
+// ReservationHolder reports which swap holds an asset, if any.
+func (r *Registry) ReservationHolder(chainName string, asset AssetID) (string, bool) {
+	r.resMu.Lock()
+	defer r.resMu.Unlock()
+	h, ok := r.res[resKey(chainName, asset)]
+	return h, ok
+}
+
+// Reservations returns the number of live reservations.
+func (r *Registry) Reservations() int {
+	r.resMu.Lock()
+	defer r.resMu.Unlock()
+	return len(r.res)
 }
 
 // VerifyAllLedgers reports whether every chain's hash chain is intact.
 func (r *Registry) VerifyAllLedgers() bool {
-	for _, name := range r.Names() {
-		if !r.Chain(name).VerifyLedger() {
+	for _, c := range r.all() {
+		if !c.VerifyLedger() {
 			return false
 		}
 	}
@@ -78,8 +238,8 @@ func (r *Registry) VerifyAllLedgers() bool {
 // Snapshot returns ownership across all chains keyed by chain name.
 func (r *Registry) Snapshot() map[string]map[AssetID]Owner {
 	out := make(map[string]map[AssetID]Owner)
-	for _, name := range r.Names() {
-		out[name] = r.Chain(name).Snapshot()
+	for _, c := range r.all() {
+		out[c.Name()] = c.Snapshot()
 	}
 	return out
 }

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/go-atomicswap/atomicswap/internal/chain"
@@ -33,9 +34,23 @@ const DefaultTick = 2 * time.Millisecond
 // Config parameterizes a concurrent run.
 type Config struct {
 	// Tick is the wall duration of one virtual tick (DefaultTick if 0).
+	// Ignored when Clock is set.
 	Tick time.Duration
 	// ExtraDelta pads the run horizon beyond spec.Horizon(), in Δ (2 if 0).
 	ExtraDelta int
+	// Registry, when set, is a shared chain registry: assets already
+	// registered on it are reused (their ownership is verified), and the
+	// run subscribes to chain events under a unique key instead of
+	// claiming the chains' only observer slot. Many runs may then execute
+	// concurrently over the same chains — the clearing engine's mode.
+	Registry *chain.Registry
+	// Clock, when set, is a shared wall clock so concurrent runs agree on
+	// virtual time. The spec's Start must be in the clock's future.
+	Clock *WallClock
+	// EarlyExit stops the run as soon as every arc has settled instead of
+	// sleeping to the worst-case horizon. Outcomes are unaffected (a
+	// settled arc is final); only trailing trace events may be trimmed.
+	EarlyExit bool
 }
 
 // Result reports a finished concurrent run.
@@ -46,17 +61,31 @@ type Result struct {
 	Log       *trace.Log
 }
 
-// wallClock converts elapsed wall time to virtual ticks.
-type wallClock struct {
+// WallClock converts elapsed wall time to virtual ticks. One shared
+// WallClock lets many concurrent runs agree on virtual time.
+type WallClock struct {
 	start time.Time
 	tick  time.Duration
 }
 
-func (c *wallClock) Now() vtime.Ticks {
+// NewWallClock starts a wall clock ticking now, one virtual tick per tick
+// of wall time (DefaultTick if 0).
+func NewWallClock(tick time.Duration) *WallClock {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	return &WallClock{start: time.Now(), tick: tick}
+}
+
+// Now returns the current virtual tick.
+func (c *WallClock) Now() vtime.Ticks {
 	return vtime.Ticks(time.Since(c.start) / c.tick)
 }
 
-func (c *wallClock) until(t vtime.Ticks) time.Duration {
+// Tick returns the wall duration of one virtual tick.
+func (c *WallClock) Tick() time.Duration { return c.tick }
+
+func (c *WallClock) until(t vtime.Ticks) time.Duration {
 	return time.Until(c.start.Add(time.Duration(t) * c.tick))
 }
 
@@ -72,19 +101,44 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 	spec := setup.Spec
 	spec.Precompute()
 
+	clock := cfg.Clock
+	if clock == nil {
+		clock = NewWallClock(cfg.Tick)
+	}
 	r := &runner{
 		setup:    setup,
 		spec:     spec,
-		clock:    &wallClock{start: time.Now(), tick: cfg.Tick},
+		clock:    clock,
 		log:      &trace.Log{},
 		resolved: make(map[int]bool),
 		resClaim: make(map[int]bool),
+		done:     make(chan struct{}),
+		cids:     make(map[chain.ContractID]int, spec.D.NumArcs()),
 	}
-	r.reg = chain.NewRegistry(r.clock)
+	for id := 0; id < spec.D.NumArcs(); id++ {
+		r.cids[spec.ContractID(id)] = id
+	}
+	shared := cfg.Registry != nil
+	if shared {
+		r.reg = cfg.Registry
+	} else {
+		r.reg = chain.NewRegistry(r.clock)
+	}
 	for id := 0; id < spec.D.NumArcs(); id++ {
 		aa := spec.Assets[id]
 		owner := spec.PartyOf(spec.D.Arc(id).Head)
-		if err := r.reg.Chain(aa.Chain).RegisterAsset(chain.Asset{
+		ch := r.reg.Chain(aa.Chain)
+		if a, exists := ch.Asset(aa.Asset); exists {
+			// Shared chains: the asset was minted up front (by the engine's
+			// intake); verify it is what the spec says and who owns it.
+			cur, _ := ch.OwnerOf(aa.Asset)
+			if a.Amount != aa.Amount || cur != chain.ByParty(owner) {
+				return nil, fmt.Errorf("conc: asset %s/%s mismatch: amount %d owner %s",
+					aa.Chain, aa.Asset, a.Amount, cur)
+			}
+			continue
+		}
+		if err := ch.RegisterAsset(chain.Asset{
 			ID: aa.Asset, Amount: aa.Amount,
 		}, owner); err != nil {
 			return nil, fmt.Errorf("conc: registering assets: %w", err)
@@ -126,7 +180,13 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 			p.loop(ctx)
 		}()
 	}
-	r.reg.SetObserverAll(r.onNote)
+	subKey := fmt.Sprintf("conc-run-%d", atomic.AddUint64(&runSeq, 1))
+	if shared {
+		r.reg.SubscribeAll(subKey, r.onNote)
+		defer r.reg.UnsubscribeAll(subKey)
+	} else {
+		r.reg.SetObserverAll(r.onNote)
+	}
 
 	// Start everyone at T−Δ (leaders deploy ahead; see core.Runner).
 	initAt := spec.Start.Add(-vtime.Duration(spec.Delta))
@@ -137,29 +197,49 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 		})
 	}
 
-	// Let the protocol play out to the horizon, then stop the parties.
+	// Let the protocol play out to the horizon — or, with EarlyExit, only
+	// until every arc settles — then stop the parties.
 	timer := time.NewTimer(r.clock.until(horizon))
 	defer timer.Stop()
-	<-timer.C
+	if cfg.EarlyExit {
+		select {
+		case <-timer.C:
+		case <-r.done:
+			// Grace period: let the final settle notifications (due within
+			// Δ of the last transfer) reach the parties before teardown.
+			time.Sleep(time.Duration(spec.Delta) * r.clock.tick)
+		}
+	} else {
+		<-timer.C
+	}
 	cancel()
 	wg.Wait()
 
 	return r.buildResult(), nil
 }
 
+// runSeq issues unique subscription keys for runs over shared registries.
+var runSeq uint64
+
 type runner struct {
 	setup *core.Setup
 	spec  *core.Spec
-	clock *wallClock
+	clock *WallClock
 	reg   *chain.Registry
 	log   *trace.Log
 	ctx   context.Context
+
+	// cids maps this swap's contract IDs to arc IDs — the filter that
+	// keeps a run deaf to other swaps sharing the same chains.
+	cids map[chain.ContractID]int
 
 	parties []*party
 
 	mu       sync.Mutex
 	resolved map[int]bool
 	resClaim map[int]bool
+	done     chan struct{}
+	doneSent bool
 }
 
 // after schedules fn at virtual tick t on the wall clock.
@@ -181,6 +261,10 @@ func (r *runner) setResolved(arcID int, claimed bool) {
 	defer r.mu.Unlock()
 	r.resolved[arcID] = true
 	r.resClaim[arcID] = claimed
+	if !r.doneSent && len(r.resolved) == r.spec.D.NumArcs() {
+		r.doneSent = true
+		close(r.done)
+	}
 }
 
 func (r *runner) getResolved(arcID int) (bool, bool) {
@@ -192,12 +276,16 @@ func (r *runner) getResolved(arcID int) (bool, bool) {
 // onNote fans chain notifications out to the incident parties within Δ,
 // mirroring core.Runner.onNote. Unlike the simulator — which realizes the
 // worst case exactly and leans on inclusive deadlines — real scheduling
-// adds jitter on top of the delivery target, so targets sit one tick
-// inside the Δ bound (detection is strictly within Δ, as the paper's
-// model allows).
+// adds jitter on top of the delivery target, so targets sit a quarter-Δ
+// inside the bound (detection strictly within Δ, as the paper's model
+// allows): the protocol's deadline margins then scale with Δ instead of
+// being a fixed tick count, which is what lets a loaded box widen Δ to
+// buy robustness.
 func (r *runner) onNote(n chain.Notification) {
 	delta := vtime.Duration(r.spec.Delta)
-	if delta > 1 {
+	if margin := delta / 4; margin >= 1 {
+		delta -= margin
+	} else if delta > 1 {
 		delta--
 	}
 	deliverIncident := func(arcID int, fn func(core.Behavior, core.Env)) {
@@ -216,13 +304,15 @@ func (r *runner) onNote(n chain.Notification) {
 		if !ok {
 			return
 		}
-		switch ct := c.(type) {
-		case *htlc.Swap:
-			deliverIncident(ct.ArcID(), func(b core.Behavior, e core.Env) { b.OnContract(e, ct.ArcID(), c) })
-		case *htlc.HTLC:
-			deliverIncident(ct.ArcID(), func(b core.Behavior, e core.Env) { b.OnContract(e, ct.ArcID(), c) })
+		arcID, mine := r.cids[n.Contract]
+		if !mine {
+			return // another swap's contract on a shared chain
 		}
+		deliverIncident(arcID, func(b core.Behavior, e core.Env) { b.OnContract(e, arcID, c) })
 	case chain.NoteInvocation:
+		if _, mine := r.cids[n.Contract]; !mine {
+			return
+		}
 		switch ev := n.Event.(type) {
 		case htlc.UnlockedEvent:
 			deliverIncident(ev.ArcID, func(b core.Behavior, e core.Env) {
@@ -234,21 +324,16 @@ func (r *runner) onNote(n chain.Notification) {
 			})
 		}
 	case chain.NoteTransfer:
+		arcID, mine := r.cids[n.Contract]
+		if !mine {
+			return
+		}
 		ch := r.reg.Chain(n.Chain)
 		c, ok := ch.Contract(n.Contract)
 		if !ok {
 			return
 		}
-		var arcID int
-		var counter chain.PartyID
-		switch ct := c.(type) {
-		case *htlc.Swap:
-			arcID, counter = ct.ArcID(), ct.Params().Counter
-		case *htlc.HTLC:
-			arcID, counter = ct.ArcID(), ct.Params().Counter
-		default:
-			return
-		}
+		counter := r.spec.PartyOf(r.spec.D.Arc(arcID).Tail)
 		owner, _ := ch.OwnerOf(c.AssetID())
 		claimed := owner == chain.ByParty(counter)
 		r.setResolved(arcID, claimed)
@@ -258,8 +343,8 @@ func (r *runner) onNote(n chain.Notification) {
 			return
 		}
 		msg, ok := n.Event.(core.BroadcastMsg)
-		if !ok {
-			return
+		if !ok || msg.Tag != r.spec.Tag {
+			return // another swap's secret on the shared broadcast chain
 		}
 		at := n.At.Add(delta)
 		for _, p := range r.parties {
@@ -455,7 +540,7 @@ func (e *concEnv) Broadcast(lockIdx int, key hashkey.Hashkey) {
 	}
 	e.p.runner.reg.Chain(core.BroadcastChain).PublishData(e.Party(),
 		fmt.Sprintf("secret for lock %d", lockIdx),
-		core.BroadcastMsg{LockIndex: lockIdx, Key: key}, key.WireSize())
+		core.BroadcastMsg{Tag: e.p.runner.spec.Tag, LockIndex: lockIdx, Key: key}, key.WireSize())
 	e.Note(trace.KindBroadcast, -1, lockIdx, "")
 }
 

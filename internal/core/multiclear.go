@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+)
+
+// Multi-swap clearing: the batch generalization of Clear for the clearing
+// engine. One clearing round looks at every pending offer at once and
+// carves the offer graph into disjoint swap digraphs, each of which clears
+// independently (and can then execute concurrently with the others). An
+// offer joins a swap only if all of its recipients are in the same
+// strongly connected component — the Theorem 3.5 precondition — so offers
+// whose counterparties have not shown up yet stay pending for a later
+// round rather than poisoning the batch.
+
+// Batch is one clearing round's result: disjoint groups of offers that
+// each form a strongly connected swap digraph, plus the residual offers
+// that cannot clear yet (their recipients are missing or not mutually
+// reachable).
+type Batch struct {
+	// Groups are disjoint clearable offer sets, deterministic order
+	// (sorted by the smallest party ID in the group).
+	Groups [][]Offer
+	// Residual holds offers that no group could absorb this round.
+	Residual []Offer
+}
+
+// PartitionOffers splits a batch of offers into disjoint clearable groups
+// and a residual. An offer clears only when every one of its proposed
+// recipients sits in the same strongly connected component of the offer
+// graph; removing unclearable offers can break connectivity for others,
+// so the partition iterates to a fixpoint. Structural offer errors
+// (duplicate party, empty offer, self-transfer) are reported instead of
+// silently shunted to the residual.
+func PartitionOffers(offers []Offer) (*Batch, error) {
+	byParty := make(map[chain.PartyID]Offer, len(offers))
+	for _, o := range offers {
+		if len(o.Give) == 0 {
+			return nil, fmt.Errorf("%w: party %s", ErrEmptyOffer, o.Party)
+		}
+		if _, dup := byParty[o.Party]; dup {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateOffer, o.Party)
+		}
+		for _, tr := range o.Give {
+			if tr.To == o.Party {
+				return nil, fmt.Errorf("%w: %s -> %s", ErrSelfTransfer, o.Party, tr.To)
+			}
+		}
+		byParty[o.Party] = o
+	}
+
+	// Active set shrinks monotonically until every remaining offer is
+	// fully internal to its component.
+	active := make(map[chain.PartyID]bool, len(byParty))
+	for p := range byParty {
+		active[p] = true
+	}
+	for {
+		removed := false
+		ids := sortedParties(active)
+		vertexOf := make(map[chain.PartyID]digraph.Vertex, len(ids))
+		d := digraph.New()
+		for _, id := range ids {
+			vertexOf[id] = d.AddVertex(string(id))
+		}
+		for _, id := range ids {
+			for _, tr := range byParty[id].Give {
+				if to, ok := vertexOf[tr.To]; ok {
+					d.MustAddArc(vertexOf[id], to)
+				}
+			}
+		}
+		compOf := make(map[chain.PartyID]int, len(ids))
+		for ci, comp := range d.SCCs() {
+			for _, v := range comp {
+				compOf[chain.PartyID(d.Name(v))] = ci
+			}
+		}
+		// Drop any active offer with a recipient outside its component
+		// (including recipients that never submitted an offer).
+		for _, id := range ids {
+			for _, tr := range byParty[id].Give {
+				if !active[tr.To] || compOf[tr.To] != compOf[id] {
+					delete(active, id)
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			// Fixpoint: group the survivors by component.
+			grouped := make(map[int][]Offer)
+			for _, id := range ids {
+				grouped[compOf[id]] = append(grouped[compOf[id]], byParty[id])
+			}
+			b := &Batch{}
+			for _, g := range grouped {
+				if len(g) < 2 {
+					// A singleton component at fixpoint means a party whose
+					// only transfers point at itself-sized components; it
+					// cannot form a swap.
+					b.Residual = append(b.Residual, g...)
+					continue
+				}
+				sort.Slice(g, func(i, j int) bool { return g[i].Party < g[j].Party })
+				b.Groups = append(b.Groups, g)
+			}
+			for _, o := range offers {
+				if !active[o.Party] {
+					b.Residual = append(b.Residual, o)
+				}
+			}
+			sort.Slice(b.Groups, func(i, j int) bool {
+				return b.Groups[i][0].Party < b.Groups[j][0].Party
+			})
+			sort.Slice(b.Residual, func(i, j int) bool {
+				return b.Residual[i].Party < b.Residual[j].Party
+			})
+			return b, nil
+		}
+	}
+}
+
+// ClearBatch partitions offers and clears every group into its own Setup.
+// Each group's config starts from base; every group gets a distinct tag —
+// the group index appended to base.Tag ("batch" when unset) — so the
+// resulting swaps can execute concurrently over shared chains without
+// contract-ID collisions. Residual offers are returned for the next round.
+func ClearBatch(offers []Offer, base Config) ([]*Setup, []Offer, error) {
+	b, err := PartitionOffers(offers)
+	if err != nil {
+		return nil, nil, err
+	}
+	prefix := base.Tag
+	if prefix == "" {
+		prefix = "batch"
+	}
+	setups := make([]*Setup, 0, len(b.Groups))
+	for i, g := range b.Groups {
+		cfg := base
+		cfg.Parties, cfg.Assets, cfg.Leaders = nil, nil, nil
+		cfg.Tag = fmt.Sprintf("%s-%d", prefix, i)
+		setup, err := Clear(g, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: clearing group %d: %w", i, err)
+		}
+		setups = append(setups, setup)
+	}
+	return setups, b.Residual, nil
+}
+
+func sortedParties(set map[chain.PartyID]bool) []chain.PartyID {
+	out := make([]chain.PartyID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -24,8 +24,11 @@ type Options struct {
 
 // BroadcastMsg is the payload leaders publish on the shared broadcast
 // chain under the Section 4.5 optimization: their degenerate hashkey, so
-// followers can extend it with a verifiable signature chain.
+// followers can extend it with a verifiable signature chain. Tag carries
+// the publishing swap's contract namespace so concurrent swaps sharing
+// the broadcast chain can ignore each other's secrets.
 type BroadcastMsg struct {
+	Tag       string
 	LockIndex int
 	Key       hashkey.Hashkey
 }
@@ -435,7 +438,7 @@ func (e *partyEnv) Broadcast(lockIdx int, key hashkey.Hashkey) {
 	if !e.r.spec.Broadcast {
 		return
 	}
-	msg := BroadcastMsg{LockIndex: lockIdx, Key: key}
+	msg := BroadcastMsg{Tag: e.r.spec.Tag, LockIndex: lockIdx, Key: key}
 	e.r.reg.Chain(BroadcastChain).PublishData(e.Party(),
 		fmt.Sprintf("secret for lock %d", lockIdx), msg, key.WireSize())
 	e.Note(trace.KindBroadcast, -1, lockIdx, "")

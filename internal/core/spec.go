@@ -69,7 +69,11 @@ type ArcAsset struct {
 // before the protocol starts. The market-clearing service publishes it;
 // contract verification is a field-by-field comparison against it.
 type Spec struct {
-	Kind    Kind
+	Kind Kind
+	// Tag namespaces the spec's contract IDs so many swaps can coexist on
+	// shared chains (the clearing engine runs one swap per tag). Empty for
+	// standalone runs, preserving the historical arcN@chain IDs.
+	Tag     string
 	D       *digraph.Digraph
 	Leaders []digraph.Vertex // sorted, one hashlock each
 	Locks   []hashkey.Lock   // Locks[i] belongs to Leaders[i]
@@ -209,8 +213,12 @@ func (s *Spec) VertexOf(p chain.PartyID) (digraph.Vertex, bool) {
 	return 0, false
 }
 
-// ContractID returns the canonical contract identifier for an arc.
+// ContractID returns the canonical contract identifier for an arc,
+// namespaced by the spec's tag when one is set.
 func (s *Spec) ContractID(arcID int) chain.ContractID {
+	if s.Tag != "" {
+		return chain.ContractID(fmt.Sprintf("%s/arc%d@%s", s.Tag, arcID, s.Assets[arcID].Chain))
+	}
 	return chain.ContractID(fmt.Sprintf("arc%d@%s", arcID, s.Assets[arcID].Chain))
 }
 
@@ -372,6 +380,7 @@ type Setup struct {
 // IDs, one chain and one asset per arc.
 type Config struct {
 	Kind        Kind             // default KindGeneral
+	Tag         string           // contract-ID namespace for shared chains
 	Leaders     []digraph.Vertex // default: exact-min FVS (greedy when large)
 	Delta       vtime.Duration   // default DefaultDelta
 	Start       vtime.Ticks      // default: Delta
@@ -453,6 +462,7 @@ func NewSetup(d *digraph.Digraph, cfg Config) (*Setup, error) {
 
 	spec := &Spec{
 		Kind:      cfg.Kind,
+		Tag:       cfg.Tag,
 		D:         d,
 		Leaders:   leaders,
 		Locks:     locks,

@@ -1,0 +1,604 @@
+// Package engine turns the one-shot swap protocol into a long-running
+// clearing service: a continuous stream of offers flows in, a periodic
+// clearing loop matches them into disjoint swap digraphs (Section 4.2
+// market clearing, batched), and an executor pool runs many swaps
+// concurrently over one shared chain registry. Per-swap asset reservation
+// guarantees that two in-flight swaps never commit the same asset, and an
+// aggregate metrics layer reports service-level throughput: offers/sec,
+// swaps/sec, end-to-end latency, and per-outcome counts.
+//
+// The pipeline is
+//
+//	Submit → pending book → clearing round → reservation → executor pool
+//	       → conc.Run over shared chains → settle orders → release
+//
+// Each stage is concurrency-safe: intake can run from any number of
+// goroutines while swaps execute.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/adversary"
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/conc"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// Config parameterizes an Engine. The zero value is usable: 8 workers,
+// 2ms clearing interval, 1ms ticks, Δ = core.DefaultDelta.
+type Config struct {
+	// Workers is the executor-pool size: how many swaps run concurrently.
+	Workers int
+	// ClearInterval is the period of the batch clearing loop.
+	ClearInterval time.Duration
+	// MaxBatch caps the offers considered per clearing round.
+	MaxBatch int
+	// Tick is the wall duration of one virtual tick on the shared clock.
+	Tick time.Duration
+	// Delta is the per-swap Δ in ticks.
+	Delta vtime.Duration
+	// Kind is the protocol variant each swap runs (default KindGeneral).
+	Kind core.Kind
+	// AdversaryRate injects a silent leader into this fraction of swaps:
+	// the swap aborts and every conforming party refunds, exercising the
+	// abort path under load.
+	AdversaryRate float64
+	// Seed drives per-swap key generation and adversary selection.
+	Seed int64
+	// QueueDepth is the executor job-queue capacity (default 1024).
+	QueueDepth int
+}
+
+// Engine errors.
+var (
+	ErrNotRunning    = errors.New("engine: not accepting offers")
+	ErrBadOffer      = errors.New("engine: malformed offer")
+	ErrAssetMismatch = errors.New("engine: offer amount differs from the registered asset")
+)
+
+type engineState int
+
+const (
+	stateNew engineState = iota
+	stateRunning
+	stateDraining
+	stateStopped
+)
+
+// job is one cleared swap handed to the executor pool.
+type job struct {
+	swapID      string
+	setup       *core.Setup
+	orders      []*order
+	resv        []resvKey
+	adversarial bool
+	seed        int64
+}
+
+type resvKey struct {
+	chain string
+	asset chain.AssetID
+}
+
+type mintRec struct {
+	chain  string
+	asset  chain.AssetID
+	amount uint64
+}
+
+// Engine is the clearing service. Create with New, call Start, Submit
+// offers from any goroutine, and Drain/Stop to wind down.
+type Engine struct {
+	cfg   Config
+	reg   *chain.Registry
+	clock *conc.WallClock
+	agg   *metrics.Aggregate
+
+	jobs      chan *job
+	stopClear chan struct{}
+	workerWG  sync.WaitGroup
+	clearWG   sync.WaitGroup
+
+	mu        sync.Mutex
+	state     engineState
+	orders    map[OrderID]*order
+	pending   []*order
+	nextOrder OrderID
+	nextSwap  uint64
+	inflight  int // cleared jobs queued or executing
+	minted    []mintRec
+	rng       *rand.Rand
+}
+
+// New creates an engine with its own shared clock and chain registry.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.ClearInterval <= 0 {
+		cfg.ClearInterval = 2 * time.Millisecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 512
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = core.DefaultDelta
+	}
+	if cfg.Kind == 0 {
+		cfg.Kind = core.KindGeneral
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	clock := conc.NewWallClock(cfg.Tick)
+	return &Engine{
+		cfg:       cfg,
+		reg:       chain.NewRegistry(clock),
+		clock:     clock,
+		agg:       metrics.NewAggregate(),
+		jobs:      make(chan *job, cfg.QueueDepth),
+		stopClear: make(chan struct{}),
+		orders:    make(map[OrderID]*order),
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+}
+
+// Registry exposes the shared chain registry (for invariant checks).
+func (e *Engine) Registry() *chain.Registry { return e.reg }
+
+// Start launches the executor pool and the clearing loop.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	if e.state != stateNew {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: already started")
+	}
+	e.state = stateRunning
+	e.mu.Unlock()
+
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.workerWG.Add(1)
+		go e.worker()
+	}
+	e.clearWG.Add(1)
+	go e.clearLoop()
+	return nil
+}
+
+// Submit accepts one offer into the pending book, minting any asset the
+// party deposits for the first time. Safe to call from many goroutines.
+func (e *Engine) Submit(offer core.Offer) (OrderID, error) {
+	if len(offer.Give) == 0 || offer.Party == "" {
+		return 0, fmt.Errorf("%w: empty offer or party", ErrBadOffer)
+	}
+	dup := make(map[resvKey]bool, len(offer.Give))
+	for _, tr := range offer.Give {
+		if tr.To == offer.Party {
+			return 0, fmt.Errorf("%w: self transfer", ErrBadOffer)
+		}
+		if tr.To == "" || tr.Chain == "" || tr.Asset == "" || tr.Amount == 0 {
+			return 0, fmt.Errorf("%w: incomplete transfer", ErrBadOffer)
+		}
+		// One asset can back only one transfer: catching this at intake
+		// keeps a malformed offer from dragging matched counterparties
+		// into a swap that cannot publish.
+		k := resvKey{chain: tr.Chain, asset: tr.Asset}
+		if dup[k] {
+			return 0, fmt.Errorf("%w: asset %s/%s offered twice", ErrBadOffer, tr.Chain, tr.Asset)
+		}
+		dup[k] = true
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != stateRunning {
+		return 0, ErrNotRunning
+	}
+	// Deposit-on-intake: mint unseen assets under the offering party.
+	// Known assets must match amount; ownership is enforced later, at
+	// reservation time, so an offer whose asset is tied up in an earlier
+	// swap waits instead of failing.
+	for _, tr := range offer.Give {
+		ch := e.reg.Chain(tr.Chain)
+		if a, ok := ch.Asset(tr.Asset); ok {
+			if a.Amount != tr.Amount {
+				return 0, fmt.Errorf("%w: %s/%s has amount %d, offer says %d",
+					ErrAssetMismatch, tr.Chain, tr.Asset, a.Amount, tr.Amount)
+			}
+			continue
+		}
+		if err := ch.RegisterAsset(chain.Asset{ID: tr.Asset, Amount: tr.Amount}, offer.Party); err != nil {
+			return 0, fmt.Errorf("engine: minting %s/%s: %w", tr.Chain, tr.Asset, err)
+		}
+		e.minted = append(e.minted, mintRec{chain: tr.Chain, asset: tr.Asset, amount: tr.Amount})
+	}
+	e.nextOrder++
+	o := &order{
+		id:          e.nextOrder,
+		offer:       offer,
+		status:      StatusPending,
+		submittedAt: time.Now(),
+	}
+	e.orders[o.id] = o
+	e.pending = append(e.pending, o)
+	e.agg.AddSubmitted(1)
+	return o.id, nil
+}
+
+// Order returns a snapshot of one order's state.
+func (e *Engine) Order(id OrderID) (OrderSnapshot, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, ok := e.orders[id]
+	if !ok {
+		return OrderSnapshot{}, false
+	}
+	return o.snapshot(), true
+}
+
+// clearLoop is the batch clearing service: every interval it partitions
+// the pending book into executable swaps. While draining it also detects
+// a stalled book (offers that can never match) and rejects it.
+func (e *Engine) clearLoop() {
+	defer e.clearWG.Done()
+	ticker := time.NewTicker(e.cfg.ClearInterval)
+	defer ticker.Stop()
+	stall := 0
+	for {
+		select {
+		case <-e.stopClear:
+			return
+		case <-ticker.C:
+			dispatched := e.clearRound()
+			e.mu.Lock()
+			stalled := e.state == stateDraining && !dispatched &&
+				e.inflight == 0 && len(e.pending) > 0
+			e.mu.Unlock()
+			if stalled {
+				stall++
+			} else {
+				stall = 0
+			}
+			if stall >= 3 {
+				// Three quiet rounds with nothing in flight: the remaining
+				// offers have no counterparties coming. Reject them so
+				// Drain can finish.
+				e.rejectPending("unmatched: no counterparties before drain")
+				stall = 0
+			}
+		}
+	}
+}
+
+// clearRound runs one clearing pass and reports whether any swap was
+// dispatched to the executor pool.
+func (e *Engine) clearRound() bool {
+	// One offer per party per round: a party's later orders wait for its
+	// earlier ones, which also serializes conflicting same-asset offers.
+	e.mu.Lock()
+	seen := make(map[chain.PartyID]bool)
+	var batch []*order
+	for _, o := range e.pending {
+		if len(batch) >= e.cfg.MaxBatch {
+			break
+		}
+		if seen[o.offer.Party] {
+			continue
+		}
+		seen[o.offer.Party] = true
+		batch = append(batch, o)
+	}
+	e.mu.Unlock()
+	if len(batch) < 2 {
+		return false
+	}
+
+	offers := make([]core.Offer, len(batch))
+	byParty := make(map[chain.PartyID]*order, len(batch))
+	for i, o := range batch {
+		offers[i] = o.offer
+		byParty[o.offer.Party] = o
+	}
+	b, err := core.PartitionOffers(offers)
+	if err != nil {
+		// Cannot happen for submit-validated offers; reject defensively
+		// rather than spinning on a poisoned batch.
+		e.rejectOrders(batch, "clearing: "+err.Error())
+		return false
+	}
+	dispatched := false
+	for _, g := range b.Groups {
+		if e.clearGroup(g, byParty) {
+			dispatched = true
+		}
+	}
+	return dispatched
+}
+
+// clearGroup reserves a matched group's assets, clears it into a swap
+// setup, and hands it to the executor pool. Returns false if the group
+// must wait (reservation contention) or was rejected.
+func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bool {
+	e.mu.Lock()
+	e.nextSwap++
+	swapID := fmt.Sprintf("swap-%06d", e.nextSwap)
+	seed := e.cfg.Seed + int64(e.nextSwap)
+	adversarial := e.cfg.AdversaryRate > 0 && e.rng.Float64() < e.cfg.AdversaryRate
+	e.mu.Unlock()
+
+	var held []resvKey
+	release := func() {
+		for _, r := range held {
+			e.reg.Release(r.chain, r.asset, swapID)
+		}
+	}
+	for _, o := range g {
+		for _, tr := range o.Give {
+			if err := e.reg.Reserve(tr.Chain, tr.Asset, o.Party, swapID); err != nil {
+				release()
+				if errors.Is(err, chain.ErrAssetReserved) {
+					// Another in-flight swap holds it; the whole group
+					// retries next round.
+					e.agg.AddReservationConflict()
+					return false
+				}
+				// The asset was spent or never owned: this offer can never
+				// execute. Reject it; the rest of the group rematches.
+				e.rejectOrders([]*order{byParty[o.Party]}, err.Error())
+				return false
+			}
+			held = append(held, resvKey{chain: tr.Chain, asset: tr.Asset})
+		}
+	}
+
+	setup, err := core.Clear(g, core.Config{
+		Kind:  e.cfg.Kind,
+		Tag:   swapID,
+		Delta: e.cfg.Delta,
+		Rand:  rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		release()
+		group := make([]*order, 0, len(g))
+		for _, o := range g {
+			group = append(group, byParty[o.Party])
+		}
+		e.rejectOrders(group, "clearing: "+err.Error())
+		return false
+	}
+
+	j := &job{
+		swapID:      swapID,
+		setup:       setup,
+		resv:        held,
+		adversarial: adversarial,
+		seed:        seed,
+	}
+	e.mu.Lock()
+	for _, o := range g {
+		ord := byParty[o.Party]
+		ord.status = StatusExecuting
+		ord.swap = swapID
+		j.orders = append(j.orders, ord)
+	}
+	e.compactPendingLocked()
+	e.inflight++
+	e.mu.Unlock()
+	e.agg.AddCleared(len(j.orders))
+	e.jobs <- j
+	return true
+}
+
+// worker executes cleared swaps from the queue until it closes.
+func (e *Engine) worker() {
+	defer e.workerWG.Done()
+	for j := range e.jobs {
+		e.runSwap(j)
+	}
+}
+
+// runSwap executes one swap over the shared registry and settles its
+// orders.
+func (e *Engine) runSwap(j *job) {
+	e.agg.SwapStarted()
+	spec := j.setup.Spec
+	// The start time is pinned only now, when a worker actually picks the
+	// swap up: queue latency must not eat into the protocol's deadlines.
+	// A deterministic per-swap stagger inside one Δ spreads the event
+	// bursts of swaps dispatched in the same wave.
+	stagger := vtime.Duration(j.seed % int64(spec.Delta))
+	spec.Start = e.clock.Now().Add(vtime.Scale(2, spec.Delta) + stagger)
+
+	var behaviors map[digraph.Vertex]core.Behavior
+	if j.adversarial {
+		// A silent leader completes Phase One and never reveals: the swap
+		// aborts, every conforming party refunds (never Underwater).
+		lv := spec.Leaders[j.seed%int64(len(spec.Leaders))]
+		idx, _ := spec.LeaderIndex(lv)
+		behaviors = map[digraph.Vertex]core.Behavior{lv: adversary.SilentLeader(idx)}
+	}
+
+	res, err := conc.Run(j.setup, behaviors, conc.Config{
+		Clock:     e.clock,
+		Registry:  e.reg,
+		EarlyExit: true,
+	})
+	for _, r := range j.resv {
+		e.reg.Release(r.chain, r.asset, j.swapID)
+	}
+
+	now := time.Now()
+	e.mu.Lock()
+	for _, o := range j.orders {
+		if err != nil {
+			o.status = StatusRejected
+			o.reason = "execution: " + err.Error()
+			continue
+		}
+		o.status = StatusSettled
+		o.settledAt = now
+		if v, ok := spec.VertexOf(o.offer.Party); ok {
+			o.class = res.Report.Of(v)
+		}
+	}
+	e.inflight--
+	e.mu.Unlock()
+
+	if err != nil {
+		e.agg.AddRejected(len(j.orders))
+		e.agg.SwapFinished(true)
+		return
+	}
+	for _, o := range j.orders {
+		e.agg.AddOutcome(o.class.String(), now.Sub(o.submittedAt))
+	}
+	e.agg.SwapFinished(false)
+}
+
+// rejectPending rejects every still-pending order.
+func (e *Engine) rejectPending(reason string) {
+	e.mu.Lock()
+	batch := append([]*order(nil), e.pending...)
+	e.mu.Unlock()
+	e.rejectOrders(batch, reason)
+}
+
+// rejectOrders marks orders rejected (skipping any that already left the
+// pending state) and removes them from the book.
+func (e *Engine) rejectOrders(batch []*order, reason string) {
+	e.mu.Lock()
+	n := 0
+	for _, o := range batch {
+		if o.status != StatusPending {
+			continue
+		}
+		o.status = StatusRejected
+		o.reason = reason
+		n++
+	}
+	e.compactPendingLocked()
+	e.mu.Unlock()
+	if n > 0 {
+		e.agg.AddRejected(n)
+	}
+}
+
+// compactPendingLocked drops every non-pending order from the book. The
+// caller holds e.mu.
+func (e *Engine) compactPendingLocked() {
+	kept := e.pending[:0]
+	for _, o := range e.pending {
+		if o.status == StatusPending {
+			kept = append(kept, o)
+		}
+	}
+	e.pending = kept
+}
+
+// Drain stops intake and waits for the book and the executor pool to
+// empty. Offers that cannot match are rejected after a few quiet rounds.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if e.state == stateRunning {
+		e.state = stateDraining
+	}
+	e.mu.Unlock()
+	tick := time.NewTicker(e.cfg.ClearInterval)
+	defer tick.Stop()
+	for {
+		e.mu.Lock()
+		idle := len(e.pending) == 0 && e.inflight == 0
+		e.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Stop gracefully shuts the engine down: drain the book, stop the
+// clearing loop, and wait for every in-flight swap to finish.
+func (e *Engine) Stop(ctx context.Context) error {
+	drainErr := e.Drain(ctx)
+	e.mu.Lock()
+	if e.state == stateStopped {
+		e.mu.Unlock()
+		return drainErr
+	}
+	e.state = stateStopped
+	e.mu.Unlock()
+	close(e.stopClear)
+	e.clearWG.Wait()
+	close(e.jobs)
+	e.workerWG.Wait()
+	return drainErr
+}
+
+// Report snapshots the service-level metrics.
+func (e *Engine) Report() metrics.Throughput { return e.agg.Snapshot() }
+
+// Pending returns the current book depth.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// InFlight returns the number of cleared swaps queued or executing.
+func (e *Engine) InFlight() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inflight
+}
+
+// VerifyConservation checks the registry invariant that rules out
+// double-spends: every asset the engine ever minted still exists exactly
+// once, with its recorded amount, on its chain, and every ledger's hash
+// chain is intact. When nothing is in flight it additionally requires
+// every asset to be party-owned (no stranded escrow).
+func (e *Engine) VerifyConservation() error {
+	e.mu.Lock()
+	minted := append([]mintRec(nil), e.minted...)
+	quiescent := e.inflight == 0
+	e.mu.Unlock()
+
+	if !e.reg.VerifyAllLedgers() {
+		return errors.New("engine: ledger hash chain broken")
+	}
+	for _, m := range minted {
+		ch := e.reg.Chain(m.chain)
+		a, ok := ch.Asset(m.asset)
+		if !ok {
+			return fmt.Errorf("engine: minted asset %s/%s vanished", m.chain, m.asset)
+		}
+		if a.Amount != m.amount {
+			return fmt.Errorf("engine: asset %s/%s amount changed: minted %d, now %d",
+				m.chain, m.asset, m.amount, a.Amount)
+		}
+		owner, ok := ch.OwnerOf(m.asset)
+		if !ok {
+			return fmt.Errorf("engine: asset %s/%s has no owner", m.chain, m.asset)
+		}
+		if quiescent && owner.Kind != chain.OwnerParty {
+			return fmt.Errorf("engine: asset %s/%s stranded in escrow (%s)",
+				m.chain, m.asset, owner)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/outcome"
+)
+
+// testConfig gives each swap generous wall-clock slack per Δ: the timeout
+// arithmetic assumes chain events are observed within Δ, and on a loaded
+// single-core CI box scheduler jitter must stay well inside that bound.
+func testConfig() Config {
+	tick := 2 * time.Millisecond
+	if raceEnabled {
+		tick = 10 * time.Millisecond
+	}
+	return Config{
+		Workers:       16,
+		ClearInterval: time.Millisecond,
+		Tick:          tick,
+		Delta:         15,
+		Seed:          42,
+	}
+}
+
+// ringOffers builds an n-party barter ring with unique per-party assets.
+func ringOffers(tag string, parties ...string) []core.Offer {
+	offers := make([]core.Offer, len(parties))
+	for i, p := range parties {
+		next := parties[(i+1)%len(parties)]
+		offers[i] = core.Offer{
+			Party: chain.PartyID(tag + "-" + p),
+			Give: []core.ProposedTransfer{{
+				To:     chain.PartyID(tag + "-" + next),
+				Chain:  fmt.Sprintf("chain-%s-%s", tag, p),
+				Asset:  chain.AssetID(fmt.Sprintf("asset-%s-%s", tag, p)),
+				Amount: 1,
+			}},
+		}
+	}
+	return offers
+}
+
+func drainAndStop(t *testing.T, e *Engine) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Stop(ctx); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+}
+
+func TestEngineLifecycleSingleSwap(t *testing.T) {
+	e := New(testConfig())
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var ids []OrderID
+	for _, o := range ringOffers("r1", "alice", "bob", "carol") {
+		id, err := e.Submit(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	drainAndStop(t, e)
+
+	for _, id := range ids {
+		snap, ok := e.Order(id)
+		if !ok {
+			t.Fatalf("order %d lost", id)
+		}
+		if snap.Status != StatusSettled || snap.Class != outcome.Deal {
+			t.Fatalf("order %d: status %s class %s, want settled Deal", id, snap.Status, snap.Class)
+		}
+		if snap.Latency <= 0 {
+			t.Fatalf("order %d: non-positive latency", id)
+		}
+	}
+	rep := e.Report()
+	if rep.OffersSubmitted != 3 || rep.OffersCleared != 3 || rep.SwapsFinished != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Registry().Reservations() != 0 {
+		t.Fatal("reservations leaked")
+	}
+	// Assets actually moved: alice's asset now belongs to bob.
+	owner, _ := e.Registry().Chain("chain-r1-alice").OwnerOf("asset-r1-alice")
+	if owner != chain.ByParty("r1-bob") {
+		t.Fatalf("asset-r1-alice owned by %s, want r1-bob", owner)
+	}
+}
+
+func TestEngineManyConcurrentSwaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-swap load test")
+	}
+	e := New(testConfig())
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const rings = 40
+	var ids []OrderID
+	for i := 0; i < rings; i++ {
+		for _, o := range ringOffers(fmt.Sprintf("g%d", i), "a", "b", "c") {
+			id, err := e.Submit(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	drainAndStop(t, e)
+
+	for _, id := range ids {
+		snap, _ := e.Order(id)
+		if snap.Status != StatusSettled || snap.Class != outcome.Deal {
+			t.Fatalf("order %d: %s/%s", id, snap.Status, snap.Class)
+		}
+	}
+	rep := e.Report()
+	if rep.SwapsFinished != rings {
+		t.Fatalf("want %d swaps, got %d", rings, rep.SwapsFinished)
+	}
+	if rep.PeakConcurrent < 2 {
+		t.Fatalf("no concurrency observed: peak %d", rep.PeakConcurrent)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDoubleSpendPrevented(t *testing.T) {
+	e := New(testConfig())
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Alice offers the SAME asset into two different pairings. Only one
+	// may ever execute; once it settles, the asset belongs to bob and the
+	// duplicate must be rejected as spent — never double-committed.
+	first := core.Offer{Party: "alice", Give: []core.ProposedTransfer{
+		{To: "bob", Chain: "btc", Asset: "alice-utxo", Amount: 7},
+	}}
+	second := core.Offer{Party: "alice", Give: []core.ProposedTransfer{
+		{To: "carol", Chain: "btc", Asset: "alice-utxo", Amount: 7},
+	}}
+	bob := core.Offer{Party: "bob", Give: []core.ProposedTransfer{
+		{To: "alice", Chain: "eth", Asset: "bob-coin", Amount: 3},
+	}}
+	carol := core.Offer{Party: "carol", Give: []core.ProposedTransfer{
+		{To: "alice", Chain: "sol", Asset: "carol-coin", Amount: 2},
+	}}
+	id1, err := e.Submit(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := e.Submit(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, _ := e.Submit(bob)
+	idC, _ := e.Submit(carol)
+	drainAndStop(t, e)
+
+	s1, _ := e.Order(id1)
+	s2, _ := e.Order(id2)
+	sB, _ := e.Order(idB)
+	sC, _ := e.Order(idC)
+	if s1.Status != StatusSettled || s1.Class != outcome.Deal {
+		t.Fatalf("first spend: %s/%s", s1.Status, s1.Class)
+	}
+	if sB.Status != StatusSettled {
+		t.Fatalf("bob: %s", sB.Status)
+	}
+	if s2.Status != StatusRejected {
+		t.Fatalf("duplicate spend not rejected: %s", s2.Status)
+	}
+	// Carol's counterparty evaporated, so her order is rejected unmatched.
+	if sC.Status != StatusRejected {
+		t.Fatalf("carol: %s", sC.Status)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := e.Registry().Chain("btc").OwnerOf("alice-utxo")
+	if owner != chain.ByParty("bob") {
+		t.Fatalf("alice-utxo owned by %s, want bob exactly once", owner)
+	}
+}
+
+func TestEngineRejectsBadOffers(t *testing.T) {
+	e := New(testConfig())
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(core.Offer{Party: "a"}); !errors.Is(err, ErrBadOffer) {
+		t.Fatalf("empty offer: %v", err)
+	}
+	if _, err := e.Submit(core.Offer{Party: "a", Give: []core.ProposedTransfer{
+		{To: "a", Chain: "c", Asset: "s", Amount: 1},
+	}}); !errors.Is(err, ErrBadOffer) {
+		t.Fatalf("self transfer: %v", err)
+	}
+	if _, err := e.Submit(core.Offer{Party: "a", Give: []core.ProposedTransfer{
+		{To: "b", Chain: "c", Asset: "s", Amount: 5},
+	}}); err != nil {
+		t.Fatalf("valid offer refused: %v", err)
+	}
+	// Same asset, different amount: the ledger says 5.
+	if _, err := e.Submit(core.Offer{Party: "a", Give: []core.ProposedTransfer{
+		{To: "b", Chain: "c", Asset: "s", Amount: 6},
+	}}); !errors.Is(err, ErrAssetMismatch) {
+		t.Fatalf("amount mismatch: %v", err)
+	}
+	// One asset backing two transfers in one offer.
+	if _, err := e.Submit(core.Offer{Party: "d", Give: []core.ProposedTransfer{
+		{To: "b", Chain: "c2", Asset: "dup", Amount: 1},
+		{To: "e", Chain: "c2", Asset: "dup", Amount: 1},
+	}}); !errors.Is(err, ErrBadOffer) {
+		t.Fatalf("duplicate asset in offer: %v", err)
+	}
+	drainAndStop(t, e)
+	if _, err := e.Submit(core.Offer{Party: "x", Give: []core.ProposedTransfer{
+		{To: "y", Chain: "c", Asset: "z", Amount: 1},
+	}}); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("submit after stop: %v", err)
+	}
+}
+
+func TestEngineUnmatchedOfferRejectedAtDrain(t *testing.T) {
+	e := New(testConfig())
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.Submit(core.Offer{Party: "lonely", Give: []core.ProposedTransfer{
+		{To: "ghost", Chain: "c", Asset: "s", Amount: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainAndStop(t, e)
+	snap, _ := e.Order(id)
+	if snap.Status != StatusRejected {
+		t.Fatalf("unmatched offer: %s, want rejected", snap.Status)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineGracefulShutdownUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	e := New(testConfig())
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer intake from several goroutines while the engine drains.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var submitted []OrderID
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				for _, o := range ringOffers(fmt.Sprintf("w%d-%d", g, i), "a", "b") {
+					id, err := e.Submit(o)
+					if err != nil {
+						return // intake closed mid-drain: expected
+					}
+					mu.Lock()
+					submitted = append(submitted, id)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := e.Stop(ctx); err != nil {
+		t.Fatalf("Stop under load: %v", err)
+	}
+	wg.Wait()
+	// Every accepted order must be terminal: settled or rejected, never
+	// stuck pending/executing.
+	for _, id := range submitted {
+		snap, ok := e.Order(id)
+		if !ok {
+			t.Fatalf("order %d lost", id)
+		}
+		if snap.Status != StatusSettled && snap.Status != StatusRejected {
+			t.Fatalf("order %d not terminal: %s", id, snap.Status)
+		}
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Registry().Reservations() != 0 {
+		t.Fatal("reservations leaked across shutdown")
+	}
+}
+
+func TestEngineAdversarialTrafficRefundsSafely(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversarial load test")
+	}
+	cfg := testConfig()
+	cfg.AdversaryRate = 1.0 // every swap gets a silent leader
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var ids []OrderID
+	for i := 0; i < 4; i++ {
+		for _, o := range ringOffers(fmt.Sprintf("adv%d", i), "a", "b", "c") {
+			id, err := e.Submit(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	drainAndStop(t, e)
+	for _, id := range ids {
+		snap, _ := e.Order(id)
+		if snap.Status != StatusSettled {
+			t.Fatalf("order %d: %s", id, snap.Status)
+		}
+		// The silent leader griefs the swap: no conforming party may end
+		// Underwater — they refund to NoDeal (the leader itself may
+		// technically classify differently, but with everyone refunding
+		// the uniform outcome is NoDeal).
+		if snap.Class == outcome.Underwater {
+			t.Fatalf("order %d: conforming party Underwater", id)
+		}
+	}
+	rep := e.Report()
+	if rep.Outcomes["NoDeal"] == 0 {
+		t.Fatalf("expected aborted swaps, outcomes: %v", rep.Outcomes)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDoubleStartFails(t *testing.T) {
+	e := New(testConfig())
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err == nil {
+		t.Fatal("second Start succeeded")
+	}
+	drainAndStop(t, e)
+	// Stop is idempotent.
+	if err := e.Stop(context.Background()); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}

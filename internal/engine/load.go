@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
+)
+
+// loadChains is the shared chain set RunLoad spreads its swaps over.
+var loadChains = []string{"btc", "eth", "sol", "ada"}
+
+// RunLoad drives one complete load through a fresh engine: rings barter
+// rings of ringSize parties each, submitted up front, then drained to
+// completion. It verifies the conservation invariant before returning the
+// aggregate report. This is the common harness for benchmarks and the
+// swapbench throughput trajectory.
+func RunLoad(cfg Config, rings, ringSize int) (metrics.Throughput, error) {
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		return metrics.Throughput{}, err
+	}
+	for r := 0; r < rings; r++ {
+		for i := 0; i < ringSize; i++ {
+			offer := core.Offer{
+				Party: chain.PartyID(fmt.Sprintf("r%d-p%d", r, i)),
+				Give: []core.ProposedTransfer{{
+					To:     chain.PartyID(fmt.Sprintf("r%d-p%d", r, (i+1)%ringSize)),
+					Chain:  loadChains[(r+i)%len(loadChains)],
+					Asset:  chain.AssetID(fmt.Sprintf("asset-%d-%d", r, i)),
+					Amount: uint64(1 + r%89),
+				}},
+			}
+			if _, err := e.Submit(offer); err != nil {
+				return metrics.Throughput{}, fmt.Errorf("engine: load submit: %w", err)
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := e.Stop(ctx); err != nil {
+		return metrics.Throughput{}, fmt.Errorf("engine: load drain: %w", err)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		return metrics.Throughput{}, err
+	}
+	rep := e.Report()
+	if rep.SwapsFailed > 0 {
+		return rep, fmt.Errorf("engine: load: %d swaps failed outright", rep.SwapsFailed)
+	}
+	return rep, nil
+}

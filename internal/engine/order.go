@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/outcome"
+)
+
+// OrderID identifies a submitted offer for its whole lifetime.
+type OrderID uint64
+
+// OrderStatus is an order's position in the intake → clearing → execution
+// pipeline.
+type OrderStatus int
+
+// Order statuses.
+const (
+	// StatusPending: accepted, waiting for counterparties in the book.
+	StatusPending OrderStatus = iota + 1
+	// StatusExecuting: matched into a swap whose assets are reserved and
+	// whose protocol run is queued or in flight.
+	StatusExecuting
+	// StatusSettled: the swap finished; Class holds the party's payoff.
+	StatusSettled
+	// StatusRejected: the engine refused the order; Reason says why.
+	StatusRejected
+)
+
+var statusNames = map[OrderStatus]string{
+	StatusPending:   "pending",
+	StatusExecuting: "executing",
+	StatusSettled:   "settled",
+	StatusRejected:  "rejected",
+}
+
+// String names the status.
+func (s OrderStatus) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// order is the engine's mutable record of one offer (guarded by the
+// engine mutex).
+type order struct {
+	id          OrderID
+	offer       core.Offer
+	status      OrderStatus
+	reason      string
+	class       outcome.Class
+	swap        string // tag of the swap that absorbed the order
+	submittedAt time.Time
+	settledAt   time.Time
+}
+
+// OrderSnapshot is the caller-visible copy of an order's state.
+type OrderSnapshot struct {
+	ID     OrderID
+	Party  string
+	Status OrderStatus
+	// Reason explains a rejection.
+	Reason string
+	// Swap is the tag of the swap that executed the order.
+	Swap string
+	// Class is the party's payoff class, valid once settled.
+	Class outcome.Class
+	// Latency is submit-to-settle wall time, valid once settled.
+	Latency time.Duration
+}
+
+func (o *order) snapshot() OrderSnapshot {
+	s := OrderSnapshot{
+		ID:     o.id,
+		Party:  string(o.offer.Party),
+		Status: o.status,
+		Reason: o.reason,
+		Swap:   o.swap,
+		Class:  o.class,
+	}
+	if o.status == StatusSettled {
+		s.Latency = o.settledAt.Sub(o.submittedAt)
+	}
+	return s
+}

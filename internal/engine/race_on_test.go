@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled widens virtual ticks in tests: the race detector slows every
+// operation by 5–20×, and wall-clock jitter must stay inside the Δ bound.
+const raceEnabled = true

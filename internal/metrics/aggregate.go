@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Aggregate accumulates service-level measurements across many concurrent
+// swaps — the clearing engine's counterpart to the per-run Counters. All
+// methods are safe for concurrent use.
+type Aggregate struct {
+	mu        sync.Mutex
+	startedAt time.Time
+
+	offersSubmitted int
+	offersCleared   int
+	offersRejected  int
+
+	swapsStarted  int
+	swapsFinished int
+	swapsFailed   int
+
+	inflight     int
+	peakInflight int
+
+	outcomes map[string]int
+
+	latencyCount int
+	latencySum   time.Duration
+	latencyMax   time.Duration
+
+	reservationConflicts int
+}
+
+// NewAggregate starts an aggregate; elapsed time (and therefore the /sec
+// rates) count from this moment.
+func NewAggregate() *Aggregate {
+	return &Aggregate{startedAt: time.Now(), outcomes: make(map[string]int)}
+}
+
+// AddSubmitted records offers entering the intake queue.
+func (a *Aggregate) AddSubmitted(n int) {
+	a.mu.Lock()
+	a.offersSubmitted += n
+	a.mu.Unlock()
+}
+
+// AddCleared records offers matched into a swap.
+func (a *Aggregate) AddCleared(n int) {
+	a.mu.Lock()
+	a.offersCleared += n
+	a.mu.Unlock()
+}
+
+// AddRejected records offers the engine refused (invalid, spent asset,
+// unmatched at drain).
+func (a *Aggregate) AddRejected(n int) {
+	a.mu.Lock()
+	a.offersRejected += n
+	a.mu.Unlock()
+}
+
+// AddReservationConflict records a clearing round deferred because another
+// in-flight swap held an asset — the contention the reservation layer
+// turns into waiting instead of double-spending.
+func (a *Aggregate) AddReservationConflict() {
+	a.mu.Lock()
+	a.reservationConflicts++
+	a.mu.Unlock()
+}
+
+// SwapStarted records one swap entering execution and returns the current
+// in-flight count.
+func (a *Aggregate) SwapStarted() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.swapsStarted++
+	a.inflight++
+	if a.inflight > a.peakInflight {
+		a.peakInflight = a.inflight
+	}
+	return a.inflight
+}
+
+// SwapFinished records one swap leaving execution. failed marks runs that
+// errored outright (not protocol aborts, which are counted per outcome).
+func (a *Aggregate) SwapFinished(failed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight--
+	a.swapsFinished++
+	if failed {
+		a.swapsFailed++
+	}
+}
+
+// AddOutcome tallies one order's terminal payoff class and its
+// submit-to-settle latency.
+func (a *Aggregate) AddOutcome(class string, latency time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.outcomes[class]++
+	a.latencyCount++
+	a.latencySum += latency
+	if latency > a.latencyMax {
+		a.latencyMax = latency
+	}
+}
+
+// Throughput is a point-in-time summary of an Aggregate, JSON-ready for
+// the benchmark trajectory.
+type Throughput struct {
+	ElapsedSec      float64        `json:"elapsed_sec"`
+	OffersSubmitted int            `json:"offers_submitted"`
+	OffersCleared   int            `json:"offers_cleared"`
+	OffersRejected  int            `json:"offers_rejected"`
+	SwapsStarted    int            `json:"swaps_started"`
+	SwapsFinished   int            `json:"swaps_finished"`
+	SwapsFailed     int            `json:"swaps_failed"`
+	InFlight        int            `json:"in_flight"`
+	PeakConcurrent  int            `json:"peak_concurrent"`
+	OffersPerSec    float64        `json:"offers_per_sec"`
+	SwapsPerSec     float64        `json:"swaps_per_sec"`
+	AvgLatencyMs    float64        `json:"avg_latency_ms"`
+	MaxLatencyMs    float64        `json:"max_latency_ms"`
+	Outcomes        map[string]int `json:"outcomes"`
+	ResvConflicts   int            `json:"reservation_conflicts"`
+}
+
+// Snapshot captures the aggregate now.
+func (a *Aggregate) Snapshot() Throughput {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	elapsed := time.Since(a.startedAt).Seconds()
+	t := Throughput{
+		ElapsedSec:      elapsed,
+		OffersSubmitted: a.offersSubmitted,
+		OffersCleared:   a.offersCleared,
+		OffersRejected:  a.offersRejected,
+		SwapsStarted:    a.swapsStarted,
+		SwapsFinished:   a.swapsFinished,
+		SwapsFailed:     a.swapsFailed,
+		InFlight:        a.inflight,
+		PeakConcurrent:  a.peakInflight,
+		Outcomes:        make(map[string]int, len(a.outcomes)),
+		ResvConflicts:   a.reservationConflicts,
+	}
+	for k, v := range a.outcomes {
+		t.Outcomes[k] = v
+	}
+	if elapsed > 0 {
+		t.OffersPerSec = float64(a.offersCleared) / elapsed
+		t.SwapsPerSec = float64(a.swapsFinished) / elapsed
+	}
+	if a.latencyCount > 0 {
+		t.AvgLatencyMs = float64(a.latencySum.Milliseconds()) / float64(a.latencyCount)
+		t.MaxLatencyMs = float64(a.latencyMax.Milliseconds())
+	}
+	return t
+}
+
+// JSON renders the snapshot as one JSON object.
+func (t Throughput) JSON() string {
+	b, _ := json.Marshal(t)
+	return string(b)
+}
+
+// String renders a human-readable multi-line summary.
+func (t Throughput) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offers: %d submitted, %d cleared, %d rejected\n",
+		t.OffersSubmitted, t.OffersCleared, t.OffersRejected)
+	fmt.Fprintf(&b, "swaps:  %d finished (%d failed), peak %d concurrent\n",
+		t.SwapsFinished, t.SwapsFailed, t.PeakConcurrent)
+	fmt.Fprintf(&b, "rate:   %.1f offers/sec, %.1f swaps/sec over %.2fs\n",
+		t.OffersPerSec, t.SwapsPerSec, t.ElapsedSec)
+	fmt.Fprintf(&b, "latency: avg %.1fms, max %.1fms\n", t.AvgLatencyMs, t.MaxLatencyMs)
+	keys := make([]string, 0, len(t.Outcomes))
+	for k := range t.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, t.Outcomes[k])
+	}
+	fmt.Fprintf(&b, "outcomes: %s (reservation conflicts: %d)",
+		strings.Join(parts, " "), t.ResvConflicts)
+	return b.String()
+}
