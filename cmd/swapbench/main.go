@@ -6,21 +6,29 @@
 //
 //	swapbench [-only E5[,E9,...]]
 //	swapbench -engine-json
+//	swapbench -bench-json
 //
 // With -engine-json it instead sweeps the clearing engine at 1, 8, and 64
 // concurrent swaps and emits one JSON object per line (the BENCH
-// trajectory format), skipping the experiment tables.
+// trajectory format), skipping the experiment tables. With -bench-json it
+// emits the full trajectory point: the engine sweep plus the hot-path
+// micro-benchmarks (hashkey verification cached/uncached, keyring vs
+// fresh-keygen setup) — the format committed as BENCH_NN.json files.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
 
+	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/expt"
+	"github.com/go-atomicswap/atomicswap/internal/graphgen"
+	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
@@ -45,13 +53,98 @@ func engineSweep() error {
 	return nil
 }
 
+// timeOp reports the mean ns/op of fn over enough iterations to fill
+// roughly 200ms, with a floor of 10 iterations.
+func timeOp(fn func()) float64 {
+	fn() // warm up
+	iters := 10
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	for elapsed := time.Since(start); elapsed < 200*time.Millisecond; elapsed = time.Since(start) {
+		more := iters
+		for i := 0; i < more; i++ {
+			fn()
+		}
+		iters += more
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// hashkeyMicro measures verification at path length hops, cached and not,
+// over the same fixture BenchmarkHashkey uses.
+func hashkeyMicro(hops int) error {
+	fx, err := hashkey.NewFixture(hops, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return err
+	}
+	cache := hashkey.NewVerifyCache(0)
+	cached := timeOp(func() {
+		if err := fx.Key.VerifyExtended(fx.Lock, fx.D, 0, fx.Dir, cache); err != nil {
+			panic(err)
+		}
+	})
+	uncached := timeOp(func() {
+		if err := fx.Key.Verify(fx.Lock, fx.D, 0, fx.Dir); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Printf("{\"bench\":\"hashkey_verify\",\"path_len\":%d,\"cached_ns_op\":%.0f,\"uncached_ns_op\":%.0f,\"speedup\":%.1f}\n",
+		hops, cached, uncached, uncached/cached)
+	return nil
+}
+
+// keyringMicro measures three-party setup cost with fresh per-swap keygen
+// vs a persistent keyring, mirroring BenchmarkKeyring.
+func keyringMicro() {
+	d := graphgen.ThreeWay()
+	seed := int64(0)
+	fresh := timeOp(func() {
+		seed++
+		if _, err := core.NewSetup(d, core.Config{Rand: rand.New(rand.NewSource(seed))}); err != nil {
+			panic(err)
+		}
+	})
+	k := core.NewKeyring(rand.New(rand.NewSource(7)))
+	cache := hashkey.NewVerifyCache(0)
+	keyring := timeOp(func() {
+		seed++
+		cfg := core.Config{Rand: rand.New(rand.NewSource(seed)), Keyring: k, Cache: cache}
+		if _, err := core.NewSetup(d, cfg); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Printf("{\"bench\":\"keyring_setup\",\"fresh_ns_op\":%.0f,\"keyring_ns_op\":%.0f,\"speedup\":%.1f}\n",
+		fresh, keyring, fresh/keyring)
+}
+
+// benchJSON emits the full trajectory point: micro-benchmarks plus the
+// engine sweep, one JSON object per line.
+func benchJSON() error {
+	for _, hops := range []int{0, 4, 12} {
+		if err := hashkeyMicro(hops); err != nil {
+			return err
+		}
+	}
+	keyringMicro()
+	return engineSweep()
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	engineJSON := flag.Bool("engine-json", false, "emit engine throughput sweep as JSON and exit")
+	fullBenchJSON := flag.Bool("bench-json", false, "emit micro-benchmarks plus engine sweep as JSON and exit")
 	flag.Parse()
 
-	if *engineJSON {
-		if err := engineSweep(); err != nil {
+	if *engineJSON || *fullBenchJSON {
+		var err error
+		if *fullBenchJSON {
+			err = benchJSON()
+		} else {
+			err = engineSweep()
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -378,12 +378,16 @@ func TestTheorem49Fuzz(t *testing.T) {
 		t.Skip("fuzz sweep")
 	}
 	const runs = 120
+	// One verification cache shared across every fuzz iteration, exactly
+	// as the clearing engine shares one across all its swaps: coalition
+	// chains must stay correctly judged even with a hot cross-swap cache.
+	vcache := hashkey.NewVerifyCache(0)
 	for seed := int64(0); seed < runs; seed++ {
 		seed := seed
 		rng := rand.New(rand.NewSource(seed))
 		n := 3 + rng.Intn(6)
 		d := graphgen.RandomStronglyConnected(n, 0.25+rng.Float64()*0.3, seed)
-		cfg := core.Config{Rand: rand.New(rand.NewSource(seed + 1000))}
+		cfg := core.Config{Rand: rand.New(rand.NewSource(seed + 1000)), Cache: vcache}
 		if rng.Intn(3) == 0 {
 			cfg.Broadcast = true
 		}
@@ -437,6 +441,9 @@ func TestTheorem49Fuzz(t *testing.T) {
 				t.Fatalf("seed %d: asset %s leaked to %v", seed, aa.Asset, owner)
 			}
 		}
+	}
+	if st := vcache.Stats(); st.Misses == 0 {
+		t.Error("shared verify cache saw no traffic; fuzz no longer exercises cached verification")
 	}
 }
 

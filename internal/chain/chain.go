@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
@@ -205,9 +206,11 @@ type Chain struct {
 	records   []Record
 	storage   int
 	observers map[string]func(Notification)
-	// obsList is the key-sorted snapshot of observers, rebuilt on
-	// (un)subscribe so the per-notification hot path never sorts.
-	obsList []func(Notification)
+	// obsList is the key-sorted immutable snapshot of observers, rebuilt
+	// wholesale on (un)subscribe and published atomically, so the
+	// per-notification fanout neither sorts, copies the subscriber map,
+	// nor touches c.mu at all.
+	obsList atomic.Pointer[[]func(Notification)]
 }
 
 // New creates an empty chain with the given name, reading timestamps from
@@ -270,7 +273,7 @@ func (c *Chain) rebuildObsLocked() {
 	for i, k := range keys {
 		list[i] = c.observers[k]
 	}
-	c.obsList = list
+	c.obsList.Store(&list)
 }
 
 // RegisterAsset mints an asset owned by the given party.
@@ -379,7 +382,10 @@ func (c *Chain) Invoke(sender PartyID, id ContractID, method string, args any, a
 		c.mu.Unlock()
 		return fmt.Errorf("chain %s: %s.%s: %w", c.name, id, method, err)
 	}
-	notes := []Notification{c.appendLocked(NoteInvocation, id, sender, argsSize, method+": "+res.Note, res.Event)}
+	// Stack-backed buffer: an invocation produces at most two
+	// notifications, so the fanout allocates nothing per call.
+	var notesBuf [2]Notification
+	notes := append(notesBuf[:0], c.appendLocked(NoteInvocation, id, sender, argsSize, method+": "+res.Note, res.Event))
 	if res.Transfer != nil {
 		assetID := contract.AssetID()
 		c.owners[assetID] = *res.Transfer
@@ -429,14 +435,16 @@ func (c *Chain) PublishData(sender PartyID, note string, payload any, size int) 
 
 // emit delivers notifications to every observer outside the chain lock, so
 // observers may freely read chain state. The snapshot slice is immutable
-// (rebuilt wholesale on subscription changes), so reading the reference
-// under the lock is enough.
+// (rebuilt wholesale on subscription changes) and published atomically, so
+// the fanout takes no lock: a notify under heavy multi-swap load never
+// contends with ledger writes or other emitters.
 func (c *Chain) emit(notes ...Notification) {
-	c.mu.Lock()
-	observers := c.obsList
-	c.mu.Unlock()
+	observers := c.obsList.Load()
+	if observers == nil {
+		return
+	}
 	for _, n := range notes {
-		for _, fn := range observers {
+		for _, fn := range *observers {
 			fn(n)
 		}
 	}

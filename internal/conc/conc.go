@@ -51,6 +51,14 @@ type Config struct {
 	// sleeping to the worst-case horizon. Outcomes are unaffected (a
 	// settled arc is final); only trailing trace events may be trimmed.
 	EarlyExit bool
+	// Cache, when set, replaces the spec's hashkey verification cache so
+	// many concurrent runs share one (the clearing engine's mode: a
+	// hashkey chain verified by one swap's contract never pays full
+	// price again anywhere in the engine). Note this deliberately
+	// rewires the caller's Spec — later runs of the same Setup keep the
+	// shared cache, which is the desired behavior for engine-owned
+	// setups (one per cleared swap).
+	Cache *hashkey.VerifyCache
 }
 
 // Result reports a finished concurrent run.
@@ -99,6 +107,9 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 		cfg.ExtraDelta = 2
 	}
 	spec := setup.Spec
+	if cfg.Cache != nil {
+		spec.Cache = cfg.Cache
+	}
 	spec.Precompute()
 
 	clock := cfg.Clock

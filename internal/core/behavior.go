@@ -352,7 +352,7 @@ func (b *Conforming) OnBroadcast(e Env, lockIdx int, key hashkey.Hashkey) {
 	if key.Leader() == e.Vertex() {
 		return // our own broadcast
 	}
-	if err := key.VerifyCrypto(spec.Locks[lockIdx], spec.Leaders[lockIdx], spec.Keys); err != nil {
+	if err := key.VerifyCryptoExtended(spec.Locks[lockIdx], spec.Leaders[lockIdx], spec.Keys, spec.Cache); err != nil {
 		e.Note(trace.KindUnlockFailed, -1, lockIdx, "bad broadcast: "+err.Error())
 		return
 	}

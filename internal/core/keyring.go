@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/hashkey"
+)
+
+// Keyring is a persistent store of party signing identities. A long-running
+// clearing service creates each party's ed25519 keypair exactly once — at
+// first intake — and every subsequent swap the party joins reuses it,
+// rebound to whatever vertex the clearing round assigns. This takes key
+// generation entirely off the per-swap clearing path: NewSetup with a
+// keyring performs zero keygens for known parties.
+//
+// The paper's security argument is indifferent to key lifetime: hashkey
+// verification binds signatures to the public keys in the published
+// directory, and reusing a keypair across swaps only means the same
+// directory entry appears in several plans (exactly how real chain
+// identities behave). Keyring is safe for concurrent use.
+type Keyring struct {
+	mu   sync.RWMutex
+	rand io.Reader
+	keys map[chain.PartyID]*hashkey.Signer
+}
+
+// NewKeyring creates an empty keyring drawing key material from r
+// (crypto/rand when nil).
+func NewKeyring(r io.Reader) *Keyring {
+	if r == nil {
+		r = hashkey.CryptoRand()
+	}
+	return &Keyring{rand: r, keys: make(map[chain.PartyID]*hashkey.Signer)}
+}
+
+// Ensure returns the party's canonical signer, generating it on first use.
+// Generation happens under the keyring lock so a party's identity is
+// created exactly once even under concurrent intake.
+func (k *Keyring) Ensure(p chain.PartyID) (*hashkey.Signer, error) {
+	k.mu.RLock()
+	s, ok := k.keys[p]
+	k.mu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if s, ok := k.keys[p]; ok {
+		return s, nil
+	}
+	s, err := hashkey.NewSigner(0, k.rand)
+	if err != nil {
+		return nil, fmt.Errorf("core: keyring: generating identity for %s: %w", p, err)
+	}
+	k.keys[p] = s
+	return s, nil
+}
+
+// SignerFor returns the party's persistent identity bound to vertex v,
+// generating the keypair if the party is new. The returned signer shares
+// key material with the canonical one — no allocation-heavy keygen runs
+// for known parties.
+func (k *Keyring) SignerFor(p chain.PartyID, v digraph.Vertex) (*hashkey.Signer, error) {
+	s, err := k.Ensure(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.At(v), nil
+}
+
+// Has reports whether the party already has an identity.
+func (k *Keyring) Has(p chain.PartyID) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	_, ok := k.keys[p]
+	return ok
+}
+
+// Len returns the number of stored identities.
+func (k *Keyring) Len() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.keys)
+}
+
+// Parties returns the sorted party IDs with stored identities.
+func (k *Keyring) Parties() []chain.PartyID {
+	k.mu.RLock()
+	out := make([]chain.PartyID, 0, len(k.keys))
+	for p := range k.keys {
+		out = append(out, p)
+	}
+	k.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"github.com/go-atomicswap/atomicswap/internal/chain"
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
@@ -91,8 +92,24 @@ type Spec struct {
 	// contracts accept the virtual length-1 path (counterparty, leader).
 	Broadcast bool
 
+	// Cache is the node-local hashkey verification cache threaded into
+	// every contract built from this spec. It is runtime infrastructure,
+	// not part of the published plan: plan verification ignores it, and
+	// distinct nodes (or a whole clearing engine) may share one cache
+	// across many specs because entries are content-addressed.
+	Cache *hashkey.VerifyCache
+
 	// longestFrom caches longest-simple-path lengths per start vertex.
 	longestFrom map[digraph.Vertex][]int
+	// tlMu guards the lazily filled Start-derived caches below, so a Spec
+	// whose timelocks were never warmed (e.g. an engine swap before its
+	// Start is pinned) can fill them safely from any goroutine.
+	tlMu sync.Mutex
+	// arcTimelocks caches the per-arc timelock vectors, shared read-only
+	// by every contract of an arc.
+	arcTimelocks [][]vtime.Ticks
+	// maxTimelock caches MaxTimelock (0 = unset).
+	maxTimelock vtime.Ticks
 }
 
 // Validation errors.
@@ -184,6 +201,18 @@ func (s *Spec) Validate(allowUnsafe bool) error {
 	return nil
 }
 
+// SetStart rebases the protocol start time and invalidates every cached
+// quantity derived from it (per-arc timelocks, the max-timelock bound).
+// The clearing engine pins Start only when a worker picks the swap up, so
+// assigning the field directly would leave stale deadlines behind.
+func (s *Spec) SetStart(t vtime.Ticks) {
+	s.Start = t
+	s.tlMu.Lock()
+	s.arcTimelocks = nil
+	s.maxTimelock = 0
+	s.tlMu.Unlock()
+}
+
 // LeaderIndex returns v's hashlock index and whether v is a leader.
 func (s *Spec) LeaderIndex(v digraph.Vertex) (int, bool) {
 	for i, l := range s.Leaders {
@@ -226,13 +255,45 @@ func (s *Spec) ContractID(arcID int) chain.ContractID {
 // clearing service and the Phase Two broadcast optimization.
 const BroadcastChain = "broadcast"
 
-// Precompute fills the longest-path cache for every vertex. NewSetup
-// calls it so a finished Spec is read-only and safe for concurrent use
-// (the goroutine runtime shares one Spec across parties).
+// Precompute fills the longest-path cache for every vertex, the per-arc
+// timelock vectors, and the max-timelock bound. NewSetup calls it so a
+// finished Spec is read-only and safe for concurrent use (the goroutine
+// runtime shares one Spec across parties), and so the per-contract hot
+// path (ContractParams, refund alarms, deadline checks) never recomputes
+// longest paths. Idempotent. The cached vectors also derive from D,
+// Leaders, Delta, and DiamBound: a precomputed Spec treats those fields
+// as frozen, and the one sanctioned post-hoc mutation — rebasing Start —
+// must go through SetStart, which invalidates exactly these caches.
 func (s *Spec) Precompute() {
+	s.precomputePaths()
+	s.tlMu.Lock()
+	s.fillTimelocksLocked()
+	if s.maxTimelock == 0 {
+		s.maxTimelock = s.computeMaxTimelock()
+	}
+	s.tlMu.Unlock()
+}
+
+// precomputePaths fills the Start-independent longest-path cache. NewSetup
+// stops here: the Start-derived timelock caches fill lazily (or in the
+// runtime's Precompute), so an engine that rebases Start when a worker
+// picks the swap up never pays for throwaway timelock vectors.
+func (s *Spec) precomputePaths() {
 	for _, v := range s.D.Vertices() {
 		s.longestPathsFrom(v)
 	}
+}
+
+// fillTimelocksLocked populates arcTimelocks if unset. Caller holds tlMu.
+func (s *Spec) fillTimelocksLocked() {
+	if s.arcTimelocks != nil {
+		return
+	}
+	tls := make([][]vtime.Ticks, s.D.NumArcs())
+	for id := range tls {
+		tls[id] = s.computeTimelocks(id)
+	}
+	s.arcTimelocks = tls
 }
 
 // longestPathsFrom returns (caching) the longest-simple-path lengths from v.
@@ -264,7 +325,24 @@ func (s *Spec) maxPathTo(v digraph.Vertex, i int) int {
 // contract: Start + (DiamBound + maxpath(tail, leader_i))·Δ. A hashkey for
 // lock i presented on this arc can never be valid after Timelocks[i], so
 // the contract is refundable once a lock is still closed strictly after it.
+// The returned slice is a fresh copy; the hot path uses timelocksShared.
 func (s *Spec) Timelocks(arcID int) []vtime.Ticks {
+	return append([]vtime.Ticks(nil), s.timelocksShared(arcID)...)
+}
+
+// timelocksShared returns the arc's timelock vector without copying —
+// computed once per spec (lazily, under tlMu), shared read-only by every
+// contract of the arc. Callers must not mutate it.
+func (s *Spec) timelocksShared(arcID int) []vtime.Ticks {
+	s.tlMu.Lock()
+	s.fillTimelocksLocked()
+	tl := s.arcTimelocks[arcID]
+	s.tlMu.Unlock()
+	return tl
+}
+
+// computeTimelocks derives one arc's timelock vector from scratch.
+func (s *Spec) computeTimelocks(arcID int) []vtime.Ticks {
 	tail := s.D.Arc(arcID).Tail
 	out := make([]vtime.Ticks, len(s.Leaders))
 	for i := range s.Leaders {
@@ -308,6 +386,8 @@ func (s *Spec) ContractParams(arcID int) htlc.SwapParams {
 		Digraph:   s.D,
 		Leaders:   append([]digraph.Vertex(nil), s.Leaders...),
 		Locks:     append([]hashkey.Lock(nil), s.Locks...),
+		// Copied from the precomputed vector, not shared: deviation hooks
+		// may mutate published params, which must never reach the spec.
 		Timelocks: s.Timelocks(arcID),
 		Party:     s.Parties[arc.Head],
 		PartyV:    arc.Head,
@@ -319,6 +399,7 @@ func (s *Spec) ContractParams(arcID int) htlc.SwapParams {
 		DiamBound: s.DiamBound,
 		Directory: s.Keys,
 		Broadcast: s.Broadcast,
+		Cache:     s.Cache,
 	}
 }
 
@@ -339,13 +420,26 @@ func (s *Spec) HTLCParams(arcID int) htlc.HTLCParams {
 
 // MaxTimelock returns the latest deadline any contract of this swap can
 // reach — by when every conforming party's assets are settled or
-// refundable.
+// refundable. Computed once per spec (lazily, under tlMu).
 func (s *Spec) MaxTimelock() vtime.Ticks {
+	s.tlMu.Lock()
+	if s.maxTimelock == 0 {
+		s.fillTimelocksLocked()
+		s.maxTimelock = s.computeMaxTimelock()
+	}
+	max := s.maxTimelock
+	s.tlMu.Unlock()
+	return max
+}
+
+// computeMaxTimelock derives the bound from the filled arcTimelocks cache.
+// Caller holds tlMu with fillTimelocksLocked already run.
+func (s *Spec) computeMaxTimelock() vtime.Ticks {
 	max := s.Start
 	for id := 0; id < s.D.NumArcs(); id++ {
 		switch s.Kind {
 		case KindGeneral:
-			for _, tl := range s.Timelocks(id) {
+			for _, tl := range s.arcTimelocks[id] {
 				if tl.After(max) {
 					max = tl
 				}
@@ -390,6 +484,15 @@ type Config struct {
 	Broadcast   bool
 	AllowUnsafe bool
 	DiamBound   int // default: computed from D
+	// Keyring, when set, supplies persistent party identities: signers for
+	// known parties are reused (rebound to their vertex) and new parties
+	// get a keypair generated once, in the keyring. When nil every setup
+	// generates fresh identities from Rand, as a one-shot swap would.
+	Keyring *Keyring
+	// Cache, when set, is shared as the spec's hashkey verification cache;
+	// when nil each setup gets its own. A clearing engine passes one cache
+	// for all its swaps (entries are content-addressed, so sharing is safe).
+	Cache *hashkey.VerifyCache
 }
 
 // NewSetup builds and validates a full swap setup over d.
@@ -443,7 +546,15 @@ func NewSetup(d *digraph.Digraph, cfg Config) (*Setup, error) {
 
 	signers := make([]*hashkey.Signer, d.NumVertices())
 	for v := range signers {
-		s, err := hashkey.NewSigner(digraph.Vertex(v), cfg.Rand)
+		var s *hashkey.Signer
+		var err error
+		if cfg.Keyring != nil {
+			// Persistent identity: keygen only if the party is new to the
+			// keyring, and never from this setup's Rand.
+			s, err = cfg.Keyring.SignerFor(parties[v], digraph.Vertex(v))
+		} else {
+			s, err = hashkey.NewSigner(digraph.Vertex(v), cfg.Rand)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: setup: %w", err)
 		}
@@ -460,6 +571,10 @@ func NewSetup(d *digraph.Digraph, cfg Config) (*Setup, error) {
 		locks[i] = sec.Lock()
 	}
 
+	cache := cfg.Cache
+	if cache == nil {
+		cache = hashkey.NewVerifyCache(0)
+	}
 	spec := &Spec{
 		Kind:      cfg.Kind,
 		Tag:       cfg.Tag,
@@ -473,10 +588,13 @@ func NewSetup(d *digraph.Digraph, cfg Config) (*Setup, error) {
 		Delta:     cfg.Delta,
 		DiamBound: diamBound,
 		Broadcast: cfg.Broadcast,
+		Cache:     cache,
 	}
 	if err := spec.Validate(cfg.AllowUnsafe); err != nil {
 		return nil, err
 	}
-	spec.Precompute()
+	// Paths only: the Start-derived timelock caches fill lazily (or in the
+	// runtime's Precompute), because the engine rebases Start after setup.
+	spec.precomputePaths()
 	return &Setup{Spec: spec, Signers: signers, Secrets: secrets}, nil
 }

@@ -29,6 +29,7 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/conc"
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/metrics"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
@@ -103,6 +104,13 @@ type Engine struct {
 	clock *conc.WallClock
 	agg   *metrics.Aggregate
 
+	// keyring holds every party's persistent signing identity, created at
+	// first intake — clearing rounds never pay for key generation.
+	keyring *core.Keyring
+	// vcache is the engine-wide hashkey verification cache shared by every
+	// swap's contracts (content-addressed, so cross-swap sharing is safe).
+	vcache *hashkey.VerifyCache
+
 	jobs      chan *job
 	stopClear chan struct{}
 	workerWG  sync.WaitGroup
@@ -148,6 +156,8 @@ func New(cfg Config) *Engine {
 		reg:       chain.NewRegistry(clock),
 		clock:     clock,
 		agg:       metrics.NewAggregate(),
+		keyring:   core.NewKeyring(rand.New(rand.NewSource(cfg.Seed + 2))),
+		vcache:    hashkey.NewVerifyCache(0),
 		jobs:      make(chan *job, cfg.QueueDepth),
 		stopClear: make(chan struct{}),
 		orders:    make(map[OrderID]*order),
@@ -157,6 +167,13 @@ func New(cfg Config) *Engine {
 
 // Registry exposes the shared chain registry (for invariant checks).
 func (e *Engine) Registry() *chain.Registry { return e.reg }
+
+// Keyring exposes the persistent party keyring.
+func (e *Engine) Keyring() *core.Keyring { return e.keyring }
+
+// VerifyCacheStats snapshots the engine-wide hashkey verification cache
+// counters.
+func (e *Engine) VerifyCacheStats() hashkey.CacheStats { return e.vcache.Stats() }
 
 // Start launches the executor pool and the clearing loop.
 func (e *Engine) Start() error {
@@ -201,6 +218,29 @@ func (e *Engine) Submit(offer core.Offer) (OrderID, error) {
 		dup[k] = true
 	}
 
+	// Quick state gate so offers to a stopped engine mint nothing.
+	e.mu.Lock()
+	running := e.state == stateRunning
+	e.mu.Unlock()
+	if !running {
+		return 0, ErrNotRunning
+	}
+	// Persistent identity at first intake: the ed25519 keygen runs here —
+	// after static validation, before the order is booked — once per party
+	// ever, outside the engine lock. Booking the order only afterwards
+	// means the clearing round can never race ahead and pay for keygen
+	// itself. (An offer that still fails the stateful checks below may
+	// leave an identity behind; identities are tiny and reused on the
+	// party's next attempt.)
+	if _, err := e.keyring.Ensure(offer.Party); err != nil {
+		return 0, err
+	}
+	return e.bookOrder(offer)
+}
+
+// bookOrder validates the offer against engine state, mints unseen
+// assets, and books the order, all under the engine lock.
+func (e *Engine) bookOrder(offer core.Offer) (OrderID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.state != stateRunning {
@@ -364,10 +404,12 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 	}
 
 	setup, err := core.Clear(g, core.Config{
-		Kind:  e.cfg.Kind,
-		Tag:   swapID,
-		Delta: e.cfg.Delta,
-		Rand:  rand.New(rand.NewSource(seed)),
+		Kind:    e.cfg.Kind,
+		Tag:     swapID,
+		Delta:   e.cfg.Delta,
+		Rand:    rand.New(rand.NewSource(seed)),
+		Keyring: e.keyring,
+		Cache:   e.vcache,
 	})
 	if err != nil {
 		release()
@@ -419,7 +461,7 @@ func (e *Engine) runSwap(j *job) {
 	// A deterministic per-swap stagger inside one Δ spreads the event
 	// bursts of swaps dispatched in the same wave.
 	stagger := vtime.Duration(j.seed % int64(spec.Delta))
-	spec.Start = e.clock.Now().Add(vtime.Scale(2, spec.Delta) + stagger)
+	spec.SetStart(e.clock.Now().Add(vtime.Scale(2, spec.Delta) + stagger))
 
 	var behaviors map[digraph.Vertex]core.Behavior
 	if j.adversarial {
@@ -434,6 +476,7 @@ func (e *Engine) runSwap(j *job) {
 		Clock:     e.clock,
 		Registry:  e.reg,
 		EarlyExit: true,
+		Cache:     e.vcache,
 	})
 	for _, r := range j.resv {
 		e.reg.Release(r.chain, r.asset, j.swapID)

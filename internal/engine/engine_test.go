@@ -101,6 +101,56 @@ func TestEngineLifecycleSingleSwap(t *testing.T) {
 	}
 }
 
+// TestEngineKeyringAndCacheReuse pins the hot-path amortizations: a party
+// submitting repeatedly keeps one identity across all its swaps (keygen at
+// first intake only), and the engine-wide verification cache takes the
+// one-signature fast path for extended hashkeys instead of re-walking
+// chains.
+func TestEngineKeyringAndCacheReuse(t *testing.T) {
+	e := New(testConfig())
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	parties := []string{"alice", "bob", "carol"}
+	// The same three parties trade twice over distinct assets: the book
+	// clears one offer per party per round, and the second swap must reuse
+	// the identities minted for the first.
+	for round := 0; round < 2; round++ {
+		for i, p := range parties {
+			next := parties[(i+1)%len(parties)]
+			_, err := e.Submit(core.Offer{
+				Party: chain.PartyID(p),
+				Give: []core.ProposedTransfer{{
+					To:     chain.PartyID(next),
+					Chain:  fmt.Sprintf("chain-%s", p),
+					Asset:  chain.AssetID(fmt.Sprintf("asset-%s-%d", p, round)),
+					Amount: 1,
+				}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drainAndStop(t, e)
+
+	if got := e.Keyring().Len(); got != len(parties) {
+		t.Errorf("keyring holds %d identities after 2 swaps of %d parties, want %d",
+			got, len(parties), len(parties))
+	}
+	st := e.VerifyCacheStats()
+	if st.Fastpath == 0 {
+		t.Errorf("no fast-path verifications under load: %+v", st)
+	}
+	rep := e.Report()
+	if rep.SwapsFinished != 2 || rep.SwapsFailed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEngineManyConcurrentSwaps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-swap load test")

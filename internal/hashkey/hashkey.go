@@ -85,6 +85,17 @@ func (s *Signer) Public() ed25519.PublicKey { return s.pub }
 // Sign signs msg.
 func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
 
+// At returns a view of the same signing identity bound to a different
+// vertex. Key material is shared, not copied: this is how a persistent
+// party identity (one keypair for the party's lifetime) is rebound to
+// whatever vertex the party is assigned in each cleared swap.
+func (s *Signer) At(vertex digraph.Vertex) *Signer {
+	if s.vertex == vertex {
+		return s
+	}
+	return &Signer{vertex: vertex, pub: s.pub, priv: s.priv}
+}
+
 // Directory maps vertexes to their public keys; contracts use it to verify
 // signature chains. It is part of the public swap plan.
 type Directory map[digraph.Vertex]ed25519.PublicKey
@@ -182,17 +193,8 @@ func (h Hashkey) Verify(lock Lock, d *digraph.Digraph, leader digraph.Vertex, di
 // check, which must also admit the virtual (counterparty, leader) paths
 // of the Section 4.5 broadcast optimization.
 func (h Hashkey) VerifyCrypto(lock Lock, leader digraph.Vertex, dir Directory) error {
-	if len(h.Path) == 0 {
-		return ErrEmptyPath
-	}
-	if !h.Secret.Matches(lock) {
-		return ErrWrongSecret
-	}
-	if h.Leader() != leader {
-		return fmt.Errorf("%w: path ends at %d, leader is %d", ErrWrongLeader, h.Leader(), leader)
-	}
-	if len(h.Sigs) != len(h.Path) {
-		return fmt.Errorf("%w: %d signatures for %d path vertexes", ErrChainLength, len(h.Sigs), len(h.Path))
+	if err := h.checkStructure(lock, leader); err != nil {
+		return err
 	}
 	k := len(h.Path) - 1
 	for i := 0; i <= k; i++ {
@@ -213,12 +215,39 @@ func (h Hashkey) VerifyCrypto(lock Lock, leader digraph.Vertex, dir Directory) e
 	return nil
 }
 
+// checkStructure runs the signature-independent validity checks shared by
+// the cached and uncached verification paths: any check added here applies
+// to both, which is what keeps their accept/reject decisions identical.
+func (h Hashkey) checkStructure(lock Lock, leader digraph.Vertex) error {
+	if len(h.Path) == 0 {
+		return ErrEmptyPath
+	}
+	if !h.Secret.Matches(lock) {
+		return ErrWrongSecret
+	}
+	if h.Leader() != leader {
+		return fmt.Errorf("%w: path ends at %d, leader is %d", ErrWrongLeader, h.Leader(), leader)
+	}
+	if len(h.Sigs) != len(h.Path) {
+		return fmt.Errorf("%w: %d signatures for %d path vertexes", ErrChainLength, len(h.Sigs), len(h.Path))
+	}
+	return nil
+}
+
 // Clone returns a deep copy, so contracts can retain hashkeys without
-// aliasing caller-owned buffers.
+// aliasing caller-owned buffers. All signatures share one pre-sized
+// backing buffer: a clone costs three allocations regardless of chain
+// length instead of one per link.
 func (h Hashkey) Clone() Hashkey {
 	sigs := make([][]byte, len(h.Sigs))
+	total := 0
+	for _, s := range h.Sigs {
+		total += len(s)
+	}
+	buf := make([]byte, 0, total)
 	for i, s := range h.Sigs {
-		sigs[i] = append([]byte(nil), s...)
+		buf = append(buf, s...)
+		sigs[i] = buf[len(buf)-len(s) : len(buf) : len(buf)]
 	}
 	return Hashkey{Secret: h.Secret, Path: h.Path.Clone(), Sigs: sigs}
 }

@@ -72,6 +72,11 @@ type SwapParams struct {
 	// followers learn secrets from a shared broadcast chain as if a direct
 	// arc to the leader existed.
 	Broadcast bool
+	// Cache is the node-local hashkey verification cache. It is not part
+	// of the on-chain contract state (a real chain's validator would hold
+	// its own): plan verification ignores it, StorageSize does not charge
+	// it, and nil simply disables amortized verification.
+	Cache *hashkey.VerifyCache
 }
 
 // UnlockArgs is the payload of an unlock call: which hashlock, opened by
@@ -251,7 +256,7 @@ func (s *Swap) invokeUnlock(call chain.Call) (chain.Result, error) {
 	if !s.pathOK(args.Key.Path, s.p.Leaders[i]) {
 		return chain.Result{}, fmt.Errorf("htlc: unlock %d: %v is not a valid hashkey path", i, args.Key.Path)
 	}
-	if err := args.Key.VerifyCrypto(s.p.Locks[i], s.p.Leaders[i], s.p.Directory); err != nil {
+	if err := args.Key.VerifyCryptoExtended(s.p.Locks[i], s.p.Leaders[i], s.p.Directory, s.p.Cache); err != nil {
 		return chain.Result{}, fmt.Errorf("htlc: unlock %d: %w", i, err)
 	}
 	s.unlocked[i] = true
