@@ -146,41 +146,90 @@ func BenchmarkRecurrent(b *testing.B) {
 }
 
 // BenchmarkEngineThroughput is E18: the clearing engine end to end at
-// 1, 8, and 64 concurrent swaps. Each iteration pushes a full load of
-// three-party barter rings through a fresh engine over shared chains and
-// reports offers/sec and swaps/sec (wall-clock service rates, so run with
-// -benchtime=1x or a small count).
+// 1, 8, and 64 concurrent swaps, in three time modes. Each iteration
+// pushes a full load of three-party barter rings through a fresh engine
+// over shared chains and reports offers/sec and swaps/sec (wall-clock
+// service rates, so run with -benchtime=1x or a small count).
+//
+//   - swaps-N: the fixed-Δ real-time baseline (wall-clock-bound: swaps
+//     wait out Δ-scaled protocol deadlines), fresh parties per ring — the
+//     BENCH_01-comparable series.
+//   - vtime-swaps-N: the virtual-time scheduler; ticks advance as fast
+//     as callbacks drain, so throughput is CPU-bound. Rings reuse a
+//     worker-sized party pool (repeat customers), the keyring's designed
+//     load shape.
+//   - fixedwide-swaps-N / adaptive-swaps-N: the adaptive-Δ comparison
+//     pair. Both start from a conservatively wide production Δ (100
+//     ticks) and clear in worker-sized waves; the adaptive engine shrinks
+//     Δ toward the delivery latency it actually observes, the fixed one
+//     pays the full width on every wave.
 func BenchmarkEngineThroughput(b *testing.B) {
+	engineCfg := func(workers, i int) engine.Config {
+		return engine.Config{
+			Workers:       workers,
+			Tick:          time.Millisecond,
+			Delta:         20,
+			ClearInterval: time.Millisecond,
+			MaxBatch:      4096,
+			Seed:          int64(i + 1),
+		}
+	}
+	runMode := func(b *testing.B, workers, rings int, mut func(*engine.Config), opts ...engine.LoadOption) {
+		var offers, swaps float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := engineCfg(workers, i)
+			if mut != nil {
+				mut(&cfg)
+			}
+			rep, err := engine.RunLoad(cfg, rings, 3, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// SwapsFailed counts execution errors only; a jitter-induced
+			// refund on a noisy CI box still finishes (outcome NoDeal),
+			// so this assertion cannot flake on scheduler noise.
+			if rep.SwapsFinished != rings || rep.SwapsFailed != 0 {
+				b.Fatalf("finished %d swaps (%d failed), want %d clean",
+					rep.SwapsFinished, rep.SwapsFailed, rings)
+			}
+			offers += rep.OffersPerSec
+			swaps += rep.SwapsPerSec
+		}
+		b.ReportMetric(offers/float64(b.N), "offers/sec")
+		b.ReportMetric(swaps/float64(b.N), "swaps/sec")
+	}
 	for _, workers := range []int{1, 8, 64} {
 		workers := workers
 		b.Run(fmt.Sprintf("swaps-%d", workers), func(b *testing.B) {
-			rings := 2 * workers
-			var offers, swaps float64
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				rep, err := engine.RunLoad(engine.Config{
-					Workers:       workers,
-					Tick:          time.Millisecond,
-					Delta:         20,
-					ClearInterval: time.Millisecond,
-					MaxBatch:      4096,
-					Seed:          int64(i + 1),
-				}, rings, 3)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if rep.SwapsFinished != rings || rep.SwapsFailed != 0 {
-					b.Fatalf("finished %d swaps (%d failed), want %d clean",
-						rep.SwapsFinished, rep.SwapsFailed, rings)
-				}
-				offers += rep.OffersPerSec
-				swaps += rep.SwapsPerSec
-			}
-			b.ReportMetric(offers/float64(b.N), "offers/sec")
-			b.ReportMetric(swaps/float64(b.N), "swaps/sec")
+			runMode(b, workers, 2*workers, nil)
 		})
 	}
+	for _, workers := range []int{8, 64} {
+		workers := workers
+		b.Run(fmt.Sprintf("vtime-swaps-%d", workers), func(b *testing.B) {
+			runMode(b, workers, 4*workers,
+				func(cfg *engine.Config) { cfg.Virtual = true },
+				engine.WithPartyPool(workers))
+		})
+	}
+	wide := func(adaptive bool) func(*engine.Config) {
+		return func(cfg *engine.Config) {
+			cfg.Delta = 100
+			cfg.MaxClearAhead = cfg.Workers
+			if adaptive {
+				cfg.AdaptiveDelta = true
+				cfg.MinDelta = 8
+			}
+		}
+	}
+	b.Run("fixedwide-swaps-8", func(b *testing.B) {
+		runMode(b, 8, 3*8, wide(false), engine.WithPartyPool(8))
+	})
+	b.Run("adaptive-swaps-8", func(b *testing.B) {
+		runMode(b, 8, 3*8, wide(true), engine.WithPartyPool(8))
+	})
 }
 
 // BenchmarkPebble is E10: the two games of Section 4.4.

@@ -5,15 +5,18 @@
 // Usage:
 //
 //	swapbench [-only E5[,E9,...]]
-//	swapbench -engine-json
+//	swapbench -engine-json [-vtime] [-adaptive-delta]
 //	swapbench -bench-json
 //
 // With -engine-json it instead sweeps the clearing engine at 1, 8, and 64
 // concurrent swaps and emits one JSON object per line (the BENCH
-// trajectory format), skipping the experiment tables. With -bench-json it
-// emits the full trajectory point: the engine sweep plus the hot-path
-// micro-benchmarks (hashkey verification cached/uncached, keyring vs
-// fresh-keygen setup) — the format committed as BENCH_NN.json files.
+// trajectory format), skipping the experiment tables. -vtime runs the
+// sweep on the virtual-time scheduler (CPU-bound, fast, deterministic
+// timing); -adaptive-delta enables the observed-latency Δ controller.
+// With -bench-json it emits the full trajectory point: the engine sweep
+// in all three time modes plus the hot-path micro-benchmarks (hashkey
+// verification cached/uncached, keyring vs fresh-keygen setup) — the
+// format committed as BENCH_NN.json files.
 package main
 
 import (
@@ -33,22 +36,75 @@ import (
 )
 
 // engineSweep pushes a fixed ring load through the engine at increasing
-// concurrency and prints {"concurrency":N,...} JSON lines.
-func engineSweep() error {
+// concurrency and prints {"concurrency":N,...} JSON lines. Virtual mode
+// reuses a worker-sized party pool (4 waves of repeat customers), the
+// same shape BenchmarkEngineThroughput/vtime-swaps-N measures.
+func engineSweep(virtual, adaptive bool) error {
+	bench := "engine_throughput"
+	switch {
+	case virtual && adaptive:
+		bench = "engine_throughput_vtime_adaptive"
+	case virtual:
+		bench = "engine_throughput_vtime"
+	case adaptive:
+		bench = "engine_throughput_adaptive"
+	}
 	for _, workers := range []int{1, 8, 64} {
-		rep, err := engine.RunLoad(engine.Config{
+		cfg := engine.Config{
 			Workers:       workers,
 			Tick:          time.Millisecond,
 			Delta:         vtime.Duration(20),
 			ClearInterval: time.Millisecond,
 			MaxBatch:      4096,
 			Seed:          int64(workers),
-		}, 2*workers, 3)
+			Virtual:       virtual,
+			AdaptiveDelta: adaptive,
+		}
+		rings, ringSize := 2*workers, 3
+		var opts []engine.LoadOption
+		if virtual || adaptive {
+			// Repeat customers in waves: the shape virtual mode is
+			// benchmarked in, and the shape adaptive Δ needs — later
+			// waves clear at the Δ the first wave's observations tuned.
+			rings = 4 * workers
+			opts = append(opts, engine.WithPartyPool(workers))
+		}
+		rep, err := engine.RunLoad(cfg, rings, ringSize, opts...)
 		if err != nil {
 			return fmt.Errorf("engine sweep at %d: %w", workers, err)
 		}
-		fmt.Printf("{\"bench\":\"engine_throughput\",\"concurrency\":%d,\"report\":%s}\n",
-			workers, rep.JSON())
+		fmt.Printf("{\"bench\":%q,\"concurrency\":%d,\"report\":%s}\n",
+			bench, workers, rep.JSON())
+	}
+	return nil
+}
+
+// adaptivePair runs the adaptive-Δ comparison: the same wide-Δ waved load
+// with the controller off and on, reporting both so the trajectory can
+// carry the speedup.
+func adaptivePair() error {
+	for _, adaptive := range []bool{false, true} {
+		const workers = 8
+		cfg := engine.Config{
+			Workers:       workers,
+			Tick:          time.Millisecond,
+			Delta:         100,
+			ClearInterval: time.Millisecond,
+			MaxBatch:      4096,
+			Seed:          7,
+			MaxClearAhead: workers,
+			AdaptiveDelta: adaptive,
+			MinDelta:      8,
+		}
+		rep, err := engine.RunLoad(cfg, 3*workers, 3, engine.WithPartyPool(workers))
+		if err != nil {
+			return fmt.Errorf("adaptive pair (adaptive=%v): %w", adaptive, err)
+		}
+		name := "engine_widefixed"
+		if adaptive {
+			name = "engine_wideadaptive"
+		}
+		fmt.Printf("{\"bench\":%q,\"concurrency\":%d,\"report\":%s}\n", name, workers, rep.JSON())
 	}
 	return nil
 }
@@ -120,7 +176,7 @@ func keyringMicro() {
 }
 
 // benchJSON emits the full trajectory point: micro-benchmarks plus the
-// engine sweep, one JSON object per line.
+// engine sweep in all three time modes, one JSON object per line.
 func benchJSON() error {
 	for _, hops := range []int{0, 4, 12} {
 		if err := hashkeyMicro(hops); err != nil {
@@ -128,13 +184,21 @@ func benchJSON() error {
 		}
 	}
 	keyringMicro()
-	return engineSweep()
+	if err := engineSweep(false, false); err != nil {
+		return err
+	}
+	if err := engineSweep(true, false); err != nil {
+		return err
+	}
+	return adaptivePair()
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	engineJSON := flag.Bool("engine-json", false, "emit engine throughput sweep as JSON and exit")
-	fullBenchJSON := flag.Bool("bench-json", false, "emit micro-benchmarks plus engine sweep as JSON and exit")
+	fullBenchJSON := flag.Bool("bench-json", false, "emit micro-benchmarks plus engine sweeps (all time modes) as JSON and exit")
+	vtimeFlag := flag.Bool("vtime", false, "run the -engine-json sweep on the virtual-time scheduler")
+	adaptiveFlag := flag.Bool("adaptive-delta", false, "enable the observed-latency adaptive-Δ controller in the -engine-json sweep")
 	flag.Parse()
 
 	if *engineJSON || *fullBenchJSON {
@@ -142,7 +206,7 @@ func main() {
 		if *fullBenchJSON {
 			err = benchJSON()
 		} else {
-			err = engineSweep()
+			err = engineSweep(*vtimeFlag, *adaptiveFlag)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -7,7 +7,8 @@
 //
 //	swapd [-offers 3000] [-workers 64] [-ring-min 2] [-ring-max 5]
 //	      [-adversary 0.1] [-conflicts 0.05] [-tick 2ms] [-delta 30]
-//	      [-seed 1] [-json]
+//	      [-vtime] [-adaptive-delta] [-min-delta 4] [-max-delta 120]
+//	      [-clear-ahead 64] [-seed 1] [-json]
 //
 // With -json the report is a single JSON object (the BENCH trajectory
 // format); otherwise a human-readable summary.
@@ -40,6 +41,11 @@ func main() {
 		conflicts = flag.Float64("conflicts", 0, "fraction of rings that re-spend an earlier asset")
 		tick      = flag.Duration("tick", 2*time.Millisecond, "wall duration of one virtual tick")
 		delta     = flag.Int("delta", 30, "per-swap delta in ticks")
+		vtimeMode = flag.Bool("vtime", false, "run on the virtual-time scheduler (ticks advance as callbacks drain; CPU-bound)")
+		adaptive  = flag.Bool("adaptive-delta", false, "adapt delta each clearing round from observed delivery latency")
+		minDelta  = flag.Int("min-delta", 0, "adaptive delta floor in ticks (0 = engine default)")
+		maxDelta  = flag.Int("max-delta", 0, "adaptive delta cap in ticks (0 = engine default)")
+		clrAhead  = flag.Int("clear-ahead", 0, "max swaps cleared ahead of execution (0 = unlimited; adaptive-delta defaults it to workers)")
 		seed      = flag.Int64("seed", 1, "load-generation seed")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "drain deadline")
@@ -56,6 +62,11 @@ func main() {
 		Delta:         vtime.Duration(*delta),
 		AdversaryRate: *adversary,
 		Seed:          *seed,
+		Virtual:       *vtimeMode,
+		AdaptiveDelta: *adaptive,
+		MinDelta:      vtime.Duration(*minDelta),
+		MaxDelta:      vtime.Duration(*maxDelta),
+		MaxClearAhead: *clrAhead,
 	})
 	if err := eng.Start(); err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
@@ -22,9 +23,18 @@ const regShards = 32
 type Registry struct {
 	clock vtime.Clock
 
+	// Both the chain map and the reservation table are sharded by chain
+	// name: chain lookup runs on every contract call, and under thousands
+	// of concurrent clearing rounds the reservation table sees the same
+	// contention (it was the last registry-wide mutex).
 	shards [regShards]struct {
 		mu     sync.RWMutex
 		chains map[string]*Chain
+
+		// resMu guards this shard's slice of the reservation table:
+		// "chain\x00asset" -> holder, for chains hashing to this shard.
+		resMu sync.Mutex
+		res   map[string]string
 	}
 
 	// subMu guards registry-wide subscriptions, applied to every chain
@@ -32,9 +42,18 @@ type Registry struct {
 	subMu sync.Mutex
 	subs  map[string]func(Notification)
 
-	// resMu guards the reservation table: "chain\x00asset" -> holder.
-	resMu sync.Mutex
-	res   map[string]string
+	// probe, when set, receives observed event→party delivery latencies
+	// from the runtimes sharing this registry (see DeliveryProbe).
+	probe atomic.Value // of DeliveryProbe
+}
+
+// DeliveryProbe receives observed notification latencies: how many ticks
+// past its scheduled delivery target an event actually reached a party.
+// The registry is the rendezvous — the clearing engine installs one probe
+// and every runtime executing over the shared chains feeds it — so the
+// engine can adapt Δ to the latencies the hardware actually exhibits.
+type DeliveryProbe interface {
+	Observe(lag vtime.Duration)
 }
 
 // Reservation errors.
@@ -51,12 +70,31 @@ func NewRegistry(clock vtime.Clock) *Registry {
 	r := &Registry{
 		clock: clock,
 		subs:  make(map[string]func(Notification)),
-		res:   make(map[string]string),
 	}
 	for i := range r.shards {
 		r.shards[i].chains = make(map[string]*Chain)
+		r.shards[i].res = make(map[string]string)
 	}
 	return r
+}
+
+// probeBox wraps the interface so atomic.Value always stores one concrete
+// type — successive probes of different implementations would otherwise
+// panic Store's consistency check.
+type probeBox struct{ p DeliveryProbe }
+
+// SetDeliveryProbe installs the latency probe runtimes feed. A nil probe
+// is ignored (use a fresh registry to detach).
+func (r *Registry) SetDeliveryProbe(p DeliveryProbe) {
+	if p != nil {
+		r.probe.Store(probeBox{p})
+	}
+}
+
+// DeliveryProbe returns the installed probe, or nil.
+func (r *Registry) DeliveryProbe() DeliveryProbe {
+	b, _ := r.probe.Load().(probeBox)
+	return b.p
 }
 
 // shardOf is inline FNV-1a: Registry.Chain runs on every contract call,
@@ -177,18 +215,20 @@ func resKey(chainName string, asset AssetID) string {
 // It fails if the asset is not currently owned directly by owner, or if a
 // different holder already reserved it. Reservation is the engine-level
 // coordination lock; the chain's own ownership checks remain the safety
-// net underneath it.
+// net underneath it. The table is sharded by chain name, so clearing
+// rounds touching disjoint chains never contend.
 func (r *Registry) Reserve(chainName string, asset AssetID, owner PartyID, holder string) error {
 	c := r.Chain(chainName)
+	s := &r.shards[shardOf(chainName)]
 	key := resKey(chainName, asset)
-	// The reservation check comes first and the table stays locked across
+	// The reservation check comes first and the shard stays locked across
 	// the ownership read: an asset escrowed by an in-flight swap is still
 	// reserved, and must report "reserved" (retry later), not
 	// "unavailable" (permanent) — and two racing reservers must not both
 	// pass the ownership check and overwrite each other.
-	r.resMu.Lock()
-	defer r.resMu.Unlock()
-	if h, exists := r.res[key]; exists && h != holder {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if h, exists := s.res[key]; exists && h != holder {
 		return fmt.Errorf("%w: %s/%s held by %s", ErrAssetReserved, chainName, asset, h)
 	}
 	cur, ok := c.OwnerOf(asset)
@@ -196,33 +236,40 @@ func (r *Registry) Reserve(chainName string, asset AssetID, owner PartyID, holde
 		return fmt.Errorf("%w: %s/%s (owner %s, want party %s)",
 			ErrAssetUnavailable, chainName, asset, cur, owner)
 	}
-	r.res[key] = holder
+	s.res[key] = holder
 	return nil
 }
 
 // Release drops a reservation if (and only if) holder still holds it.
 func (r *Registry) Release(chainName string, asset AssetID, holder string) {
+	s := &r.shards[shardOf(chainName)]
 	key := resKey(chainName, asset)
-	r.resMu.Lock()
-	defer r.resMu.Unlock()
-	if r.res[key] == holder {
-		delete(r.res, key)
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if s.res[key] == holder {
+		delete(s.res, key)
 	}
 }
 
 // ReservationHolder reports which swap holds an asset, if any.
 func (r *Registry) ReservationHolder(chainName string, asset AssetID) (string, bool) {
-	r.resMu.Lock()
-	defer r.resMu.Unlock()
-	h, ok := r.res[resKey(chainName, asset)]
+	s := &r.shards[shardOf(chainName)]
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	h, ok := s.res[resKey(chainName, asset)]
 	return h, ok
 }
 
 // Reservations returns the number of live reservations.
 func (r *Registry) Reservations() int {
-	r.resMu.Lock()
-	defer r.resMu.Unlock()
-	return len(r.res)
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.resMu.Lock()
+		n += len(s.res)
+		s.resMu.Unlock()
+	}
+	return n
 }
 
 // VerifyAllLedgers reports whether every chain's hash chain is intact.

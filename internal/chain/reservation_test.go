@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
 func TestReserveLifecycle(t *testing.T) {
@@ -111,6 +113,85 @@ func TestReserveConcurrentSingleWinner(t *testing.T) {
 	}
 	if n != 1 {
 		t.Fatalf("want exactly one winning reservation, got %d", n)
+	}
+}
+
+// TestReserveShardedAcrossChains hammers the sharded reservation table
+// from many goroutines over many chains: per-chain mutual exclusion must
+// hold while disjoint chains proceed independently, and every reservation
+// must be released cleanly.
+func TestReserveShardedAcrossChains(t *testing.T) {
+	r := NewRegistry(fixedClock(0))
+	const chains = 40
+	for c := 0; c < chains; c++ {
+		name := fmt.Sprintf("chain-%d", c)
+		if err := r.Chain(name).RegisterAsset(Asset{ID: "hot", Amount: 1}, "alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	winners := make([]int, chains)
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		holder := fmt.Sprintf("swap-%d", g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < chains; c++ {
+				name := fmt.Sprintf("chain-%d", c)
+				if err := r.Reserve(name, "hot", "alice", holder); err == nil {
+					mu.Lock()
+					winners[c]++
+					mu.Unlock()
+					r.Release(name, "hot", holder)
+				} else if !errors.Is(err, ErrAssetReserved) {
+					t.Errorf("unexpected reserve error: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for c, n := range winners {
+		if n == 0 {
+			t.Fatalf("chain %d never reserved", c)
+		}
+	}
+	if r.Reservations() != 0 {
+		t.Fatalf("reservations leaked: %d", r.Reservations())
+	}
+}
+
+type countingProbe struct {
+	mu   sync.Mutex
+	lags []int64
+}
+
+func (p *countingProbe) Observe(lag vtime.Duration) {
+	p.mu.Lock()
+	p.lags = append(p.lags, int64(lag))
+	p.mu.Unlock()
+}
+
+func TestDeliveryProbeInstallAndFeed(t *testing.T) {
+	r := NewRegistry(fixedClock(0))
+	if r.DeliveryProbe() != nil {
+		t.Fatal("fresh registry has a probe")
+	}
+	r.SetDeliveryProbe(nil) // ignored
+	if r.DeliveryProbe() != nil {
+		t.Fatal("nil probe installed")
+	}
+	p := &countingProbe{}
+	r.SetDeliveryProbe(p)
+	got := r.DeliveryProbe()
+	if got == nil {
+		t.Fatal("probe not installed")
+	}
+	got.Observe(3)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.lags) != 1 || p.lags[0] != 3 {
+		t.Fatalf("probe fed %v", p.lags)
 	}
 }
 

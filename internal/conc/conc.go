@@ -1,14 +1,20 @@
 // Package conc runs the swap protocol concurrently: each party is its own
 // goroutine, the mock chains are shared thread-safe state, and virtual
-// ticks map onto real (scaled) wall-clock time. The party logic is the
-// same core.Behavior implementation the deterministic simulator drives —
-// the point of this runtime is demonstrating that the protocol engine is
+// ticks come from a pluggable sched.Scheduler. The party logic is the same
+// core.Behavior implementation the deterministic simulator drives — the
+// point of this runtime is demonstrating that the protocol engine is
 // runtime-agnostic and race-free.
 //
-// Runs are not tick-deterministic (real scheduling jitter exists below
-// the Δ scale), so tests assert outcomes rather than traces. Pick a tick
-// duration comfortably above scheduler noise; DefaultTick works on an
-// ordinary machine.
+// Two scheduler shapes matter:
+//
+//   - sched.Real (the default): ticks map onto wall-clock time. Runs are
+//     not tick-deterministic (real scheduling jitter exists below the Δ
+//     scale), so tests assert outcomes rather than traces. Pick a tick
+//     duration comfortably above scheduler noise.
+//   - sched.Virtual: ticks advance as fast as callbacks drain, making a
+//     run CPU-bound instead of wall-clock-bound. Deliveries execute at
+//     exactly their scheduled tick; only same-tick cross-party ordering
+//     remains racy.
 package conc
 
 import (
@@ -24,17 +30,19 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/htlc"
 	"github.com/go-atomicswap/atomicswap/internal/outcome"
+	"github.com/go-atomicswap/atomicswap/internal/sched"
 	"github.com/go-atomicswap/atomicswap/internal/trace"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
 // DefaultTick is the default wall duration of one virtual tick.
-const DefaultTick = 2 * time.Millisecond
+const DefaultTick = sched.DefaultTick
 
 // Config parameterizes a concurrent run.
 type Config struct {
-	// Tick is the wall duration of one virtual tick (DefaultTick if 0).
-	// Ignored when Clock is set.
+	// Tick is the wall duration of one virtual tick (DefaultTick if 0),
+	// used to build the default real-time scheduler. Ignored when
+	// Scheduler is set.
 	Tick time.Duration
 	// ExtraDelta pads the run horizon beyond spec.Horizon(), in Δ (2 if 0).
 	ExtraDelta int
@@ -44,12 +52,23 @@ type Config struct {
 	// claiming the chains' only observer slot. Many runs may then execute
 	// concurrently over the same chains — the clearing engine's mode.
 	Registry *chain.Registry
-	// Clock, when set, is a shared wall clock so concurrent runs agree on
-	// virtual time. The spec's Start must be in the clock's future.
-	Clock *WallClock
+	// Scheduler, when set, is a shared time source so concurrent runs
+	// agree on virtual time: sched.NewReal for wall-clock execution (what
+	// a standalone run builds by default from Tick), sched.NewVirtual for
+	// event-driven time that advances as fast as callbacks drain. The
+	// spec's Start must be in the scheduler's future (or use StartOffset).
+	Scheduler sched.Scheduler
+	// StartOffset, when positive, pins spec.Start to the scheduler's
+	// current tick plus the offset, atomically with run setup. Under
+	// virtual time this is the only safe way to pin a start (the clock
+	// may advance between a caller's Now and Run); the engine uses it for
+	// its 2Δ-plus-stagger start.
+	StartOffset vtime.Duration
 	// EarlyExit stops the run as soon as every arc has settled instead of
 	// sleeping to the worst-case horizon. Outcomes are unaffected (a
-	// settled arc is final); only trailing trace events may be trimmed.
+	// settled arc is final); only trailing trace events — the OnSettled
+	// fanout of the last transfers — may be trimmed. No grace period is
+	// paid: teardown is immediate.
 	EarlyExit bool
 	// Cache, when set, replaces the spec's hashkey verification cache so
 	// many concurrent runs share one (the clearing engine's mode: a
@@ -69,40 +88,9 @@ type Result struct {
 	Log       *trace.Log
 }
 
-// WallClock converts elapsed wall time to virtual ticks. One shared
-// WallClock lets many concurrent runs agree on virtual time.
-type WallClock struct {
-	start time.Time
-	tick  time.Duration
-}
-
-// NewWallClock starts a wall clock ticking now, one virtual tick per tick
-// of wall time (DefaultTick if 0).
-func NewWallClock(tick time.Duration) *WallClock {
-	if tick <= 0 {
-		tick = DefaultTick
-	}
-	return &WallClock{start: time.Now(), tick: tick}
-}
-
-// Now returns the current virtual tick.
-func (c *WallClock) Now() vtime.Ticks {
-	return vtime.Ticks(time.Since(c.start) / c.tick)
-}
-
-// Tick returns the wall duration of one virtual tick.
-func (c *WallClock) Tick() time.Duration { return c.tick }
-
-func (c *WallClock) until(t vtime.Ticks) time.Duration {
-	return time.Until(c.start.Add(time.Duration(t) * c.tick))
-}
-
 // Run executes the setup with every party on its own goroutine. Behaviors
 // defaults to the conforming implementation per vertex; entries override.
 func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Config) (*Result, error) {
-	if cfg.Tick <= 0 {
-		cfg.Tick = DefaultTick
-	}
 	if cfg.ExtraDelta <= 0 {
 		cfg.ExtraDelta = 2
 	}
@@ -110,22 +98,32 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 	if cfg.Cache != nil {
 		spec.Cache = cfg.Cache
 	}
-	spec.Precompute()
 
-	clock := cfg.Clock
-	if clock == nil {
-		clock = NewWallClock(cfg.Tick)
+	scheduler := cfg.Scheduler
+	if scheduler == nil {
+		scheduler = sched.NewReal(cfg.Tick)
 	}
 	r := &runner{
 		setup:    setup,
 		spec:     spec,
-		clock:    clock,
+		sched:    scheduler,
 		log:      &trace.Log{},
+		timers:   make(map[int64]sched.Timer),
 		resolved: make(map[int]bool),
 		resClaim: make(map[int]bool),
 		done:     make(chan struct{}),
 		cids:     make(map[chain.ContractID]int, spec.D.NumArcs()),
 	}
+
+	// Setup runs under a hold: under virtual time the clock must not jump
+	// past the start while assets are registered and inits scheduled.
+	release := scheduler.Hold()
+	defer release() // no-op after the explicit release below
+	if cfg.StartOffset > 0 {
+		spec.SetStart(scheduler.Now().Add(cfg.StartOffset))
+	}
+	spec.Precompute()
+
 	for id := 0; id < spec.D.NumArcs(); id++ {
 		r.cids[spec.ContractID(id)] = id
 	}
@@ -133,8 +131,9 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 	if shared {
 		r.reg = cfg.Registry
 	} else {
-		r.reg = chain.NewRegistry(r.clock)
+		r.reg = chain.NewRegistry(scheduler)
 	}
+	r.probe = r.reg.DeliveryProbe()
 	for id := 0; id < spec.D.NumArcs(); id++ {
 		aa := spec.Assets[id]
 		owner := spec.PartyOf(spec.D.Arc(id).Head)
@@ -203,28 +202,47 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 	initAt := spec.Start.Add(-vtime.Duration(spec.Delta))
 	for _, p := range r.parties {
 		p := p
-		r.after(initAt, func() {
-			p.deliver(func() { p.behavior.Init(p.env()) })
-		})
+		r.deliverAt(initAt, p, false, func() { p.behavior.Init(p.env()) })
 	}
+	horizonCh := make(chan struct{})
+	r.schedule(horizon, func() { close(horizonCh) })
+	release()
 
 	// Let the protocol play out to the horizon — or, with EarlyExit, only
-	// until every arc settles — then stop the parties.
-	timer := time.NewTimer(r.clock.until(horizon))
-	defer timer.Stop()
+	// until every arc settles. A settled arc is final, so nothing after
+	// the last transfer can change an outcome: the full-Δ grace sleep the
+	// runtime used to pay here bought only trailing OnSettled trace
+	// events, which EarlyExit documents as trimmable. The horizon timer
+	// is simply never waited on once all arcs resolve.
 	if cfg.EarlyExit {
 		select {
-		case <-timer.C:
+		case <-horizonCh:
 		case <-r.done:
-			// Grace period: let the final settle notifications (due within
-			// Δ of the last transfer) reach the parties before teardown.
-			time.Sleep(time.Duration(spec.Delta) * r.clock.tick)
 		}
 	} else {
-		<-timer.C
+		<-horizonCh
 	}
+	// Teardown order matters, especially on a shared virtual scheduler:
+	// (1) stop timers so no new callbacks start, (2) wait out callbacks
+	// already past the stop check (their mailbox sends complete while the
+	// parties still drain), (3) cancel and join the parties, (4) settle
+	// any deliveries stranded in mailboxes — their scheduler holds must
+	// be released or a shared virtual clock would stall forever.
+	r.stopTimers()
+	r.fnWG.Wait()
 	cancel()
 	wg.Wait()
+	for _, p := range r.parties {
+	drain:
+		for {
+			select {
+			case fn := <-p.mailbox:
+				fn() // ctx guard skips the body; the deferred settle runs
+			default:
+				break drain
+			}
+		}
+	}
 
 	return r.buildResult(), nil
 }
@@ -235,8 +253,9 @@ var runSeq uint64
 type runner struct {
 	setup *core.Setup
 	spec  *core.Spec
-	clock *WallClock
+	sched sched.Scheduler
 	reg   *chain.Registry
+	probe chain.DeliveryProbe
 	log   *trace.Log
 	ctx   context.Context
 
@@ -246,6 +265,17 @@ type runner struct {
 
 	parties []*party
 
+	// timers tracks this run's outstanding scheduler timers so teardown
+	// can cancel them in one sweep instead of leaking them (or, worse,
+	// leaving dead events in a long-lived shared scheduler). fnWG counts
+	// timer callbacks past the stop check, so teardown can wait for their
+	// mailbox sends to finish before the parties stop draining.
+	timersMu sync.Mutex
+	timers   map[int64]sched.Timer
+	timerSeq int64
+	stopped  bool
+	fnWG     sync.WaitGroup
+
 	mu       sync.Mutex
 	resolved map[int]bool
 	resClaim map[int]bool
@@ -253,18 +283,81 @@ type runner struct {
 	doneSent bool
 }
 
-// after schedules fn at virtual tick t on the wall clock.
-func (r *runner) after(t vtime.Ticks, fn func()) {
-	d := r.clock.until(t)
-	if d < 0 {
-		d = 0
+// schedule arms fn at virtual tick t, tracked for teardown cancellation.
+// The callback re-checks the stopped flag under the timer lock, so after
+// stopTimers returns no new callback body can start (fnWG covers the ones
+// already past the check).
+func (r *runner) schedule(t vtime.Ticks, fn func()) {
+	r.timersMu.Lock()
+	if r.stopped {
+		r.timersMu.Unlock()
+		return
 	}
-	timer := time.AfterFunc(d, fn)
-	// Let the context reap outstanding timers.
-	go func() {
-		<-r.ctx.Done()
-		timer.Stop()
-	}()
+	id := r.timerSeq
+	r.timerSeq++
+	tm := r.sched.At(t, func() {
+		r.timersMu.Lock()
+		if r.stopped {
+			r.timersMu.Unlock()
+			return
+		}
+		r.fnWG.Add(1)
+		delete(r.timers, id)
+		r.timersMu.Unlock()
+		defer r.fnWG.Done()
+		fn()
+	})
+	r.timers[id] = tm
+	r.timersMu.Unlock()
+}
+
+// stopTimers cancels every outstanding timer and blocks new ones.
+func (r *runner) stopTimers() {
+	r.timersMu.Lock()
+	r.stopped = true
+	timers := make([]sched.Timer, 0, len(r.timers))
+	for _, tm := range r.timers {
+		timers = append(timers, tm)
+	}
+	r.timers = map[int64]sched.Timer{}
+	r.timersMu.Unlock()
+	for _, tm := range timers {
+		tm.Stop()
+	}
+}
+
+// deliverAt schedules fn for execution on p's mailbox at virtual tick t.
+// From fire time until the mailbox runs (or drops) it, the delivery holds
+// the scheduler, so virtual time cannot jump past a deadline while the
+// action racing that deadline sits in a mailbox. Alarms bypass the
+// abandon gate: refund alarms keep running for abandoned parties, as in
+// the simulator runtime.
+func (r *runner) deliverAt(t vtime.Ticks, p *party, alarm bool, fn func()) {
+	r.schedule(t, func() {
+		settle := r.sched.Hold()
+		wrapped := func() {
+			defer settle()
+			if r.ctx.Err() != nil {
+				return // teardown drain: settle without executing
+			}
+			if !alarm && p.abandoned {
+				return
+			}
+			if r.probe != nil {
+				if lag := r.sched.Now().Sub(t); lag > 0 {
+					r.probe.Observe(lag)
+				} else {
+					r.probe.Observe(0)
+				}
+			}
+			fn()
+		}
+		select {
+		case p.mailbox <- wrapped:
+		case <-r.ctx.Done():
+			settle()
+		}
+	})
 }
 
 func (r *runner) setResolved(arcID int, claimed bool) {
@@ -291,7 +384,8 @@ func (r *runner) getResolved(arcID int) (bool, bool) {
 // inside the bound (detection strictly within Δ, as the paper's model
 // allows): the protocol's deadline margins then scale with Δ instead of
 // being a fixed tick count, which is what lets a loaded box widen Δ to
-// buy robustness.
+// buy robustness — and, with the delivery probe watching actual lag, lets
+// the engine shrink Δ back when the hardware is keeping up.
 func (r *runner) onNote(n chain.Notification) {
 	delta := vtime.Duration(r.spec.Delta)
 	if margin := delta / 4; margin >= 1 {
@@ -304,9 +398,7 @@ func (r *runner) onNote(n chain.Notification) {
 		at := n.At.Add(delta)
 		for _, v := range []digraph.Vertex{arc.Head, arc.Tail} {
 			p := r.parties[v]
-			r.after(at, func() {
-				p.deliver(func() { fn(p.behavior, p.env()) })
-			})
+			r.deliverAt(at, p, false, func() { fn(p.behavior, p.env()) })
 		}
 	}
 	switch n.Kind {
@@ -347,8 +439,8 @@ func (r *runner) onNote(n chain.Notification) {
 		counter := r.spec.PartyOf(r.spec.D.Arc(arcID).Tail)
 		owner, _ := ch.OwnerOf(c.AssetID())
 		claimed := owner == chain.ByParty(counter)
-		r.setResolved(arcID, claimed)
 		deliverIncident(arcID, func(b core.Behavior, e core.Env) { b.OnSettled(e, arcID, claimed) })
+		r.setResolved(arcID, claimed)
 	case chain.NoteData:
 		if n.Chain != core.BroadcastChain {
 			return
@@ -360,9 +452,7 @@ func (r *runner) onNote(n chain.Notification) {
 		at := n.At.Add(delta)
 		for _, p := range r.parties {
 			p := p
-			r.after(at, func() {
-				p.deliver(func() { p.behavior.OnBroadcast(p.env(), msg.LockIndex, msg.Key) })
-			})
+			r.deliverAt(at, p, false, func() { p.behavior.OnBroadcast(p.env(), msg.LockIndex, msg.Key) })
 		}
 	}
 }
@@ -411,41 +501,16 @@ func (p *party) loop(ctx context.Context) {
 	}
 }
 
-// deliver enqueues fn onto the party goroutine, dropping it on shutdown.
-// Abandoned parties ignore everything except their own alarms (which the
-// env wraps before delivery).
-func (p *party) deliver(fn func()) {
-	wrapped := func() {
-		if p.abandoned {
-			return
-		}
-		fn()
-	}
-	select {
-	case p.mailbox <- wrapped:
-	case <-p.runner.ctx.Done():
-	}
-}
-
-// deliverAlarm enqueues fn bypassing the abandon gate (refund alarms keep
-// running for abandoned parties, as in the simulator runtime).
-func (p *party) deliverAlarm(fn func()) {
-	select {
-	case p.mailbox <- fn:
-	case <-p.runner.ctx.Done():
-	}
-}
-
 func (p *party) env() core.Env { return &concEnv{p: p} }
 
-// concEnv implements core.Env against real chains and the wall clock.
+// concEnv implements core.Env against real chains and the shared scheduler.
 type concEnv struct {
 	p *party
 }
 
 var _ core.Env = (*concEnv)(nil)
 
-func (e *concEnv) Now() vtime.Ticks       { return e.p.runner.clock.Now() }
+func (e *concEnv) Now() vtime.Ticks       { return e.p.runner.sched.Now() }
 func (e *concEnv) Spec() *core.Spec       { return e.p.runner.spec }
 func (e *concEnv) Vertex() digraph.Vertex { return e.p.vertex }
 func (e *concEnv) Party() chain.PartyID   { return e.p.runner.spec.PartyOf(e.p.vertex) }
@@ -556,8 +621,7 @@ func (e *concEnv) Broadcast(lockIdx int, key hashkey.Hashkey) {
 }
 
 func (e *concEnv) At(t vtime.Ticks, fn func()) {
-	p := e.p
-	p.runner.after(t, func() { p.deliverAlarm(fn) })
+	e.p.runner.deliverAt(t, e.p, true, fn)
 }
 
 func (e *concEnv) Abandon(reason string) {
@@ -570,7 +634,7 @@ func (e *concEnv) Abandon(reason string) {
 
 func (e *concEnv) Note(kind trace.Kind, arcID, lockIdx int, detail string) {
 	e.p.runner.log.Append(trace.Event{
-		At:     e.p.runner.clock.Now(),
+		At:     e.p.runner.sched.Now(),
 		Kind:   kind,
 		Party:  string(e.Party()),
 		Arc:    arcID,

@@ -6,10 +6,14 @@ import (
 	"time"
 
 	"github.com/go-atomicswap/atomicswap/internal/adversary"
+	"github.com/go-atomicswap/atomicswap/internal/chain"
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/outcome"
+	"github.com/go-atomicswap/atomicswap/internal/sched"
+	"github.com/go-atomicswap/atomicswap/internal/trace"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
 // tick is generous relative to goroutine scheduling noise so Δ ordering
@@ -76,6 +80,119 @@ func TestConcurrentBroadcast(t *testing.T) {
 	if !res.Report.AllDeal() {
 		t.Log("\n" + res.Log.Render())
 		t.Fatal("concurrent broadcast swap should end AllDeal")
+	}
+}
+
+// traceKinds collapses a log to the set of event kinds it contains.
+func traceKinds(l *trace.Log) map[trace.Kind]int {
+	kinds := make(map[trace.Kind]int)
+	for _, ev := range l.Events() {
+		kinds[ev.Kind]++
+	}
+	return kinds
+}
+
+// TestVirtualRealEquivalence runs the same 3-party swap under the
+// real-time and the virtual-time scheduler: outcomes must be identical
+// per vertex and the runs must produce the same kinds of trace events
+// (counts included — every publish/unlock/claim happens in both worlds).
+func TestVirtualRealEquivalence(t *testing.T) {
+	run := func(cfg Config) *Result {
+		setup := concSetup(t, graphgen.ThreeWay(), core.Config{Rand: rand.New(rand.NewSource(9))})
+		res, err := Run(setup, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	real := run(Config{Tick: tick})
+	v := sched.NewVirtual()
+	defer v.Close()
+	virtual := run(Config{Scheduler: v})
+
+	if !real.Report.AllDeal() || !virtual.Report.AllDeal() {
+		t.Logf("real:\n%s\nvirtual:\n%s", real.Log.Render(), virtual.Log.Render())
+		t.Fatal("both modes must end AllDeal")
+	}
+	for _, vx := range []digraph.Vertex{0, 1, 2} {
+		if r, vv := real.Report.Of(vx), virtual.Report.Of(vx); r != vv {
+			t.Errorf("vertex %d: real %v, virtual %v", vx, r, vv)
+		}
+	}
+	rk, vk := traceKinds(real.Log), traceKinds(virtual.Log)
+	for kind, n := range rk {
+		if vk[kind] != n {
+			t.Errorf("kind %v: real %d events, virtual %d\nreal:\n%s\nvirtual:\n%s",
+				kind, n, vk[kind], real.Log.Render(), virtual.Log.Render())
+		}
+	}
+	for kind := range vk {
+		if _, ok := rk[kind]; !ok {
+			t.Errorf("kind %v only in virtual run", kind)
+		}
+	}
+}
+
+// TestVirtualTimeIsCPUBound: under the virtual scheduler a swap with a
+// huge Δ — hours of wall time in real mode — completes in the time the
+// callbacks take to run.
+func TestVirtualTimeIsCPUBound(t *testing.T) {
+	v := sched.NewVirtual()
+	defer v.Close()
+	setup := concSetup(t, graphgen.Cycle(4), core.Config{Delta: 100_000})
+	start := time.Now()
+	res, err := Run(setup, nil, Config{Scheduler: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("virtual run took %v of wall time", elapsed)
+	}
+	if !res.Report.AllDeal() {
+		t.Log("\n" + res.Log.Render())
+		t.Fatal("virtual swap should end AllDeal")
+	}
+}
+
+// TestEarlyExitSkipsGrace: once every arc has settled, the teardown is
+// immediate — the run no longer pays the full-Δ grace sleep it used to.
+// The run's own scheduler tells us when it exited; the ledger tells us
+// when the last transfer landed; the gap must be far under one Δ.
+func TestEarlyExitSkipsGrace(t *testing.T) {
+	const (
+		delta    = 40
+		wallTick = 5 * time.Millisecond
+	)
+	s := sched.NewReal(wallTick)
+	setup := concSetup(t, graphgen.ThreeWay(), core.Config{Delta: delta})
+	res, err := Run(setup, nil, Config{Scheduler: s, EarlyExit: true})
+	exitTick := s.Now()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.AllDeal() {
+		t.Log("\n" + res.Log.Render())
+		t.Fatal("early-exit swap should end AllDeal")
+	}
+	var lastTransfer vtime.Ticks
+	for _, name := range res.Registry.Names() {
+		for _, rec := range res.Registry.Chain(name).Records() {
+			if rec.Kind == chain.NoteTransfer && rec.At > lastTransfer {
+				lastTransfer = rec.At
+			}
+		}
+	}
+	if lastTransfer == 0 {
+		t.Fatal("no transfers recorded")
+	}
+	// The old teardown exited at lastTransfer + Δ (a full grace sleep);
+	// the new one tears down as the final settle lands. Half a Δ of slack
+	// absorbs scheduler jitter on both sides.
+	if gap := exitTick.Sub(lastTransfer); gap >= delta/2 {
+		t.Fatalf("teardown lagged the last transfer by %d ticks (Δ=%d): grace not skipped", gap, delta)
+	}
+	if exitTick >= setup.Spec.Horizon() {
+		t.Fatalf("early exit ran to the horizon (%d >= %d)", exitTick, setup.Spec.Horizon())
 	}
 }
 

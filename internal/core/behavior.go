@@ -240,6 +240,12 @@ func (b *Conforming) maybeStartPhaseTwo(e Env) {
 	}
 	b.revealed = true
 	key := hashkey.New(secret, e.Signer())
+	// The degenerate key is valid by construction — it is the leader's own
+	// signature over its own secret. Seeding it spares every contract the
+	// one full-chain walk that used to be the cache's only miss.
+	if spec := e.Spec(); spec.Cache != nil {
+		_ = key.SeedVerified(spec.Locks[idx], spec.Leaders[idx], spec.Keys, spec.Cache)
+	}
 	b.keys[idx] = key
 	e.Note(trace.KindSecretRevealed, -1, idx, "leader releases secret")
 	if e.Spec().Broadcast {
@@ -323,6 +329,14 @@ func (b *Conforming) learnKey(e Env, lockIdx int, key hashkey.Hashkey) {
 		return
 	}
 	mine := key.Extend(e.Signer())
+	// The extension is valid by construction — our fresh signature over a
+	// chain that was just verified (by a contract on-chain, or by
+	// OnBroadcast for the virtual length-1 broadcast path). Seeding it
+	// makes every contract that verifies our re-presentation a pure cache
+	// hit instead of a one-signature fast path.
+	if spec := e.Spec(); spec.Cache != nil {
+		_ = mine.SeedVerified(spec.Locks[lockIdx], spec.Leaders[lockIdx], spec.Keys, spec.Cache)
+	}
 	b.keys[lockIdx] = mine
 	for _, arc := range b.entering {
 		if _, published := e.Contract(arc); !published {

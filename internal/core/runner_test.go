@@ -6,6 +6,7 @@ import (
 
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
+	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/outcome"
 	"github.com/go-atomicswap/atomicswap/internal/trace"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
@@ -237,6 +238,29 @@ func TestBroadcastOptimization(t *testing.T) {
 	}
 	if lastBC.At.Sub(reveal.At) > 2*vtime.Duration(bc.Spec.Delta) {
 		t.Errorf("broadcast Phase Two took %d ticks, want ≤ 2Δ", lastBC.At.Sub(reveal.At))
+	}
+}
+
+func TestBroadcastRepresentationsHitSeededCache(t *testing.T) {
+	// Followers seed their own extension of a verified key into the spec
+	// cache (learnKey), so the contracts verifying those re-presentations
+	// never take even the one-signature fast path: after a broadcast run
+	// every extension verification is a pure cache hit.
+	cache := hashkey.NewVerifyCache(0)
+	setup := newTestSetup(t, graphgen.Cycle(5), Config{
+		Broadcast: true, Cache: cache, Rand: rand.New(rand.NewSource(4)),
+	})
+	res := run(t, setup)
+	if !res.Report.AllDeal() {
+		t.Log("\n" + res.Log.Render())
+		t.Fatal("broadcast run must end AllDeal")
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits in a broadcast run: %+v", st)
+	}
+	if st.Fastpath != 0 {
+		t.Errorf("re-presentation fell back to the fast path despite seeding: %+v", st)
 	}
 }
 

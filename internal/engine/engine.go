@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/go-atomicswap/atomicswap/internal/adversary"
@@ -31,6 +32,7 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/metrics"
+	"github.com/go-atomicswap/atomicswap/internal/sched"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
@@ -43,9 +45,11 @@ type Config struct {
 	ClearInterval time.Duration
 	// MaxBatch caps the offers considered per clearing round.
 	MaxBatch int
-	// Tick is the wall duration of one virtual tick on the shared clock.
+	// Tick is the wall duration of one virtual tick on the shared
+	// real-time scheduler. Ignored under Virtual.
 	Tick time.Duration
-	// Delta is the per-swap Δ in ticks.
+	// Delta is the per-swap Δ in ticks (the fixed value, and the adaptive
+	// mode's starting point).
 	Delta vtime.Duration
 	// Kind is the protocol variant each swap runs (default KindGeneral).
 	Kind core.Kind
@@ -57,6 +61,36 @@ type Config struct {
 	Seed int64
 	// QueueDepth is the executor job-queue capacity (default 1024).
 	QueueDepth int
+
+	// Virtual switches the engine onto a shared virtual-time scheduler:
+	// ticks advance as fast as callbacks drain, so swaps stop waiting out
+	// Δ-scaled deadlines in wall time and throughput becomes CPU-bound.
+	// Outcomes are unchanged — the protocol sees the same tick arithmetic.
+	// A virtual engine owns the scheduler's dispatcher goroutine; call
+	// Stop (valid even if Start was never called) to release it.
+	Virtual bool
+	// AdaptiveDelta lets the engine retune Δ each clearing round from the
+	// latencies the delivery probe actually observes, within
+	// [MinDelta, MaxDelta]. Already-cleared swaps keep the Δ they were
+	// built with; only new rounds see the updated value. Pointless (but
+	// harmless) under Virtual, where observed lag is ~0.
+	AdaptiveDelta bool
+	// MinDelta floors the adaptive Δ (default 4 ticks — the smallest Δ
+	// whose quarter-Δ jitter margin is still a whole tick).
+	MinDelta vtime.Duration
+	// MaxDelta caps the adaptive Δ (default 4×Delta), bounding how far a
+	// loaded box backs off.
+	MaxDelta vtime.Duration
+	// MaxClearAhead, when positive, stops clearing rounds from running
+	// more than this many swaps ahead of execution: a round dispatches no
+	// new swap while that many are queued or in flight. Backpressure
+	// keeps a deep book from being cleared all at once — which matters
+	// under AdaptiveDelta, where a swap's Δ is fixed at clear time and
+	// clearing the whole book up front would pin every swap to the
+	// not-yet-adapted value; AdaptiveDelta therefore defaults this to
+	// Workers. Otherwise 0 means unlimited (clear-everything, the
+	// historical behavior).
+	MaxClearAhead int
 }
 
 // Engine errors.
@@ -101,7 +135,16 @@ type mintRec struct {
 type Engine struct {
 	cfg   Config
 	reg   *chain.Registry
-	clock *conc.WallClock
+	sched sched.Scheduler
+	// vsched is sched when running under virtual time (for Close), nil
+	// otherwise.
+	vsched *sched.Virtual
+	// probe collects observed delivery lag from every run over the shared
+	// registry; adaptive Δ is computed from it.
+	probe *sched.LatencyProbe
+	// delta is the Δ handed to newly cleared swaps — cfg.Delta, or the
+	// adaptive controller's current value.
+	delta atomic.Int64
 	agg   *metrics.Aggregate
 
 	// keyring holds every party's persistent signing identity, created at
@@ -150,11 +193,24 @@ func New(cfg Config) *Engine {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
-	clock := conc.NewWallClock(cfg.Tick)
-	return &Engine{
+	if cfg.MinDelta <= 0 {
+		cfg.MinDelta = 4
+	}
+	if cfg.MaxDelta <= 0 {
+		cfg.MaxDelta = 4 * cfg.Delta
+	}
+	if cfg.MaxDelta < cfg.MinDelta {
+		cfg.MaxDelta = cfg.MinDelta
+	}
+	if cfg.AdaptiveDelta && cfg.MaxClearAhead <= 0 {
+		// Adaptive Δ without backpressure is self-defeating: an up-front
+		// book would clear entirely at the initial Δ before the probe has
+		// a single window of evidence.
+		cfg.MaxClearAhead = cfg.Workers
+	}
+	e := &Engine{
 		cfg:       cfg,
-		reg:       chain.NewRegistry(clock),
-		clock:     clock,
+		probe:     sched.NewLatencyProbe(),
 		agg:       metrics.NewAggregate(),
 		keyring:   core.NewKeyring(rand.New(rand.NewSource(cfg.Seed + 2))),
 		vcache:    hashkey.NewVerifyCache(0),
@@ -163,6 +219,20 @@ func New(cfg Config) *Engine {
 		orders:    make(map[OrderID]*order),
 		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
+	if cfg.Virtual {
+		// Concurrent dispatch: same-tick callbacks (contract verification
+		// above all) spread across cores, matching the real scheduler's
+		// concurrency instead of serializing the whole engine on one
+		// dispatcher goroutine.
+		e.vsched = sched.NewVirtualConcurrent()
+		e.sched = e.vsched
+	} else {
+		e.sched = sched.NewReal(cfg.Tick)
+	}
+	e.reg = chain.NewRegistry(e.sched)
+	e.reg.SetDeliveryProbe(e.probe)
+	e.delta.Store(int64(cfg.Delta))
+	return e
 }
 
 // Registry exposes the shared chain registry (for invariant checks).
@@ -174,6 +244,41 @@ func (e *Engine) Keyring() *core.Keyring { return e.keyring }
 // VerifyCacheStats snapshots the engine-wide hashkey verification cache
 // counters.
 func (e *Engine) VerifyCacheStats() hashkey.CacheStats { return e.vcache.Stats() }
+
+// CurrentDelta reports the Δ newly cleared swaps will be built with:
+// cfg.Delta, or the adaptive controller's current value.
+func (e *Engine) CurrentDelta() vtime.Duration { return vtime.Duration(e.delta.Load()) }
+
+// LatencyStats snapshots the delivery-lag probe feeding adaptive Δ.
+func (e *Engine) LatencyStats() sched.LatencySnapshot { return e.probe.Snapshot() }
+
+// adaptDelta retunes Δ from observed delivery lag. Deliveries aim a
+// quarter-Δ inside the detection bound (see conc), so safety requires the
+// jitter beyond target to stay under Δ/4: Δ must be at least 4× the
+// observed worst lag, and we double the lag for headroom before a +1 tick
+// floor. The result is clamped to [MinDelta, MaxDelta] — Δ never drops
+// below what the hardware has actually been seen to need, plus margin.
+func (e *Engine) adaptDelta() {
+	// Let the window keep accumulating across clearing rounds until it
+	// holds enough evidence; only then consume and act on it.
+	if e.probe.Snapshot().WindowSamples < adaptMinSamples {
+		return
+	}
+	s := e.probe.TakeWindow()
+	target := 4 * (2*s.EstimateTicks() + 1)
+	if target < e.cfg.MinDelta {
+		target = e.cfg.MinDelta
+	}
+	if target > e.cfg.MaxDelta {
+		target = e.cfg.MaxDelta
+	}
+	e.delta.Store(int64(target))
+}
+
+// adaptMinSamples is how many delivery observations a window needs before
+// the controller trusts it: a near-empty window says nothing about tail
+// jitter, and shrinking Δ on no evidence is exactly the unsafe direction.
+const adaptMinSamples = 32
 
 // Start launches the executor pool and the clearing loop.
 func (e *Engine) Start() error {
@@ -301,6 +406,9 @@ func (e *Engine) clearLoop() {
 		case <-e.stopClear:
 			return
 		case <-ticker.C:
+			if e.cfg.AdaptiveDelta {
+				e.adaptDelta()
+			}
 			dispatched := e.clearRound()
 			e.mu.Lock()
 			stalled := e.state == stateDraining && !dispatched &&
@@ -360,6 +468,9 @@ func (e *Engine) clearRound() bool {
 	}
 	dispatched := false
 	for _, g := range b.Groups {
+		if e.cfg.MaxClearAhead > 0 && e.InFlight() >= e.cfg.MaxClearAhead {
+			break // backpressure: leave the rest pending for later rounds
+		}
 		if e.clearGroup(g, byParty) {
 			dispatched = true
 		}
@@ -406,7 +517,7 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 	setup, err := core.Clear(g, core.Config{
 		Kind:    e.cfg.Kind,
 		Tag:     swapID,
-		Delta:   e.cfg.Delta,
+		Delta:   e.CurrentDelta(),
 		Rand:    rand.New(rand.NewSource(seed)),
 		Keyring: e.keyring,
 		Cache:   e.vcache,
@@ -456,12 +567,14 @@ func (e *Engine) worker() {
 func (e *Engine) runSwap(j *job) {
 	e.agg.SwapStarted()
 	spec := j.setup.Spec
-	// The start time is pinned only now, when a worker actually picks the
-	// swap up: queue latency must not eat into the protocol's deadlines.
-	// A deterministic per-swap stagger inside one Δ spreads the event
-	// bursts of swaps dispatched in the same wave.
+	// The start time is pinned only inside conc.Run, when a worker
+	// actually picks the swap up: queue latency must not eat into the
+	// protocol's deadlines, and under virtual time the clock could
+	// advance between a Now read here and the run's setup (StartOffset
+	// pins it atomically under a scheduler hold). A deterministic
+	// per-swap stagger inside one Δ spreads the event bursts of swaps
+	// dispatched in the same wave.
 	stagger := vtime.Duration(j.seed % int64(spec.Delta))
-	spec.SetStart(e.clock.Now().Add(vtime.Scale(2, spec.Delta) + stagger))
 
 	var behaviors map[digraph.Vertex]core.Behavior
 	if j.adversarial {
@@ -473,10 +586,11 @@ func (e *Engine) runSwap(j *job) {
 	}
 
 	res, err := conc.Run(j.setup, behaviors, conc.Config{
-		Clock:     e.clock,
-		Registry:  e.reg,
-		EarlyExit: true,
-		Cache:     e.vcache,
+		Scheduler:   e.sched,
+		StartOffset: vtime.Scale(2, spec.Delta) + stagger,
+		Registry:    e.reg,
+		EarlyExit:   true,
+		Cache:       e.vcache,
 	})
 	for _, r := range j.resv {
 		e.reg.Release(r.chain, r.asset, j.swapID)
@@ -590,6 +704,11 @@ func (e *Engine) Stop(ctx context.Context) error {
 	e.clearWG.Wait()
 	close(e.jobs)
 	e.workerWG.Wait()
+	if e.vsched != nil {
+		// All runs have drained their scheduler holds; stop the virtual
+		// dispatcher so the engine leaves no goroutine behind.
+		e.vsched.Close()
+	}
 	return drainErr
 }
 

@@ -103,9 +103,10 @@ func TestEngineLifecycleSingleSwap(t *testing.T) {
 
 // TestEngineKeyringAndCacheReuse pins the hot-path amortizations: a party
 // submitting repeatedly keeps one identity across all its swaps (keygen at
-// first intake only), and the engine-wide verification cache takes the
-// one-signature fast path for extended hashkeys instead of re-walking
-// chains.
+// first intake only), and the engine-wide verification cache answers
+// extended-hashkey verifications without re-walking chains — re-presented
+// extensions are seeded by their presenter, so contracts see pure hits
+// (zero signature checks), not even the one-signature fast path.
 func TestEngineKeyringAndCacheReuse(t *testing.T) {
 	e := New(testConfig())
 	if err := e.Start(); err != nil {
@@ -139,8 +140,11 @@ func TestEngineKeyringAndCacheReuse(t *testing.T) {
 			got, len(parties), len(parties))
 	}
 	st := e.VerifyCacheStats()
-	if st.Fastpath == 0 {
-		t.Errorf("no fast-path verifications under load: %+v", st)
+	if st.Hits == 0 {
+		t.Errorf("no cached verifications under load: %+v", st)
+	}
+	if st.Hits <= st.Misses {
+		t.Errorf("cache mostly missing under repeat traffic: %+v", st)
 	}
 	rep := e.Report()
 	if rep.SwapsFinished != 2 || rep.SwapsFailed != 0 {
@@ -404,6 +408,169 @@ func TestEngineAdversarialTrafficRefundsSafely(t *testing.T) {
 	}
 	if err := e.VerifyConservation(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEngineVirtualTimeMode runs a full load under the virtual scheduler:
+// identical outcomes, conservation intact, and the whole load clears in
+// CPU time even with a Δ that would mean minutes of wall-clock waiting.
+func TestEngineVirtualTimeMode(t *testing.T) {
+	cfg := testConfig()
+	cfg.Virtual = true
+	cfg.Delta = 5000 // ≥ 75s per swap at the real-mode tick; irrelevant here
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var ids []OrderID
+	for i := 0; i < 10; i++ {
+		for _, o := range ringOffers(fmt.Sprintf("v%d", i), "a", "b", "c") {
+			id, err := e.Submit(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	start := time.Now()
+	drainAndStop(t, e)
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("virtual-time drain took %v of wall time", elapsed)
+	}
+	for _, id := range ids {
+		snap, _ := e.Order(id)
+		if snap.Status != StatusSettled || snap.Class != outcome.Deal {
+			t.Fatalf("order %d: %s/%s", id, snap.Status, snap.Class)
+		}
+	}
+	rep := e.Report()
+	if rep.SwapsFinished != 10 || rep.SwapsFailed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDrainRaceVirtualTime hammers intake from several goroutines
+// while the engine drains under virtual time: every accepted order must
+// reach a terminal state, nothing may leak, and the virtual clock's holds
+// must all settle (Stop would hang otherwise).
+func TestEngineDrainRaceVirtualTime(t *testing.T) {
+	cfg := testConfig()
+	cfg.Virtual = true
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var submitted []OrderID
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for _, o := range ringOffers(fmt.Sprintf("dv%d-%d", g, i), "a", "b", "c") {
+					id, err := e.Submit(o)
+					if err != nil {
+						return // intake closed mid-drain: expected
+					}
+					mu.Lock()
+					submitted = append(submitted, id)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond) // let some swaps get in flight
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := e.Stop(ctx); err != nil {
+		t.Fatalf("Stop under virtual-time load: %v", err)
+	}
+	wg.Wait()
+	for _, id := range submitted {
+		snap, ok := e.Order(id)
+		if !ok {
+			t.Fatalf("order %d lost", id)
+		}
+		if snap.Status != StatusSettled && snap.Status != StatusRejected {
+			t.Fatalf("order %d not terminal: %s", id, snap.Status)
+		}
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Registry().Reservations() != 0 {
+		t.Fatal("reservations leaked across virtual-time shutdown")
+	}
+}
+
+// TestEngineAdaptiveDelta drives the Δ controller directly through the
+// public probe: enough zero-lag observations must shrink Δ to the floor,
+// and swaps cleared at the adapted Δ must still all Deal.
+func TestEngineAdaptiveDelta(t *testing.T) {
+	cfg := testConfig()
+	cfg.AdaptiveDelta = true
+	cfg.Delta = 30
+	cfg.MinDelta = 8
+	cfg.MaxDelta = 120
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CurrentDelta(); got != 30 {
+		t.Fatalf("initial delta %d, want 30", got)
+	}
+	// Feed a healthy window: zero observed lag → Δ = 4·(2·0+1) = 4,
+	// clamped up to MinDelta.
+	probe := e.Registry().DeliveryProbe()
+	for i := 0; i < 64; i++ {
+		probe.Observe(0)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for e.CurrentDelta() != cfg.MinDelta {
+		if time.Now().After(deadline) {
+			t.Fatalf("delta never adapted: %d (probe %+v)", e.CurrentDelta(), e.LatencyStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Swaps cleared at the shrunken Δ still complete correctly; their own
+	// deliveries keep feeding the probe, and Δ stays within bounds.
+	for _, o := range ringOffers("ad", "a", "b", "c") {
+		if _, err := e.Submit(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainAndStop(t, e)
+	if d := e.CurrentDelta(); d < cfg.MinDelta || d > cfg.MaxDelta {
+		t.Fatalf("delta %d outside [%d, %d]", d, cfg.MinDelta, cfg.MaxDelta)
+	}
+	rep := e.Report()
+	if rep.SwapsFinished != 1 || rep.SwapsFailed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Outcomes["Deal"] != 3 {
+		t.Fatalf("outcomes: %v", rep.Outcomes)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineVirtualStopWithoutStart pins the lifecycle contract: a
+// virtual engine owns its scheduler's dispatcher goroutine, and Stop
+// releases it even when Start was never called.
+func TestEngineVirtualStopWithoutStart(t *testing.T) {
+	cfg := testConfig()
+	cfg.Virtual = true
+	e := New(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Stop(ctx); err != nil {
+		t.Fatalf("Stop without Start: %v", err)
 	}
 }
 

@@ -13,22 +13,46 @@ import (
 // loadChains is the shared chain set RunLoad spreads its swaps over.
 var loadChains = []string{"btc", "eth", "sol", "ada"}
 
+// LoadOption tweaks RunLoad's generated traffic.
+type LoadOption func(*loadOpts)
+
+type loadOpts struct {
+	partyPool int
+}
+
+// WithPartyPool makes rings reuse a fixed pool of ring-group identities
+// instead of minting fresh parties per ring: ring r uses group r mod n.
+// Repeat customers are the keyring's whole point (identity cost is paid
+// once, not per swap), and the book's one-offer-per-party-per-round rule
+// then naturally pipelines same-group rings into successive waves.
+func WithPartyPool(n int) LoadOption {
+	return func(o *loadOpts) { o.partyPool = n }
+}
+
 // RunLoad drives one complete load through a fresh engine: rings barter
 // rings of ringSize parties each, submitted up front, then drained to
 // completion. It verifies the conservation invariant before returning the
 // aggregate report. This is the common harness for benchmarks and the
 // swapbench throughput trajectory.
-func RunLoad(cfg Config, rings, ringSize int) (metrics.Throughput, error) {
+func RunLoad(cfg Config, rings, ringSize int, opts ...LoadOption) (metrics.Throughput, error) {
+	var o loadOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	e := New(cfg)
 	if err := e.Start(); err != nil {
 		return metrics.Throughput{}, err
 	}
 	for r := 0; r < rings; r++ {
+		group := r
+		if o.partyPool > 0 {
+			group = r % o.partyPool
+		}
 		for i := 0; i < ringSize; i++ {
 			offer := core.Offer{
-				Party: chain.PartyID(fmt.Sprintf("r%d-p%d", r, i)),
+				Party: chain.PartyID(fmt.Sprintf("r%d-p%d", group, i)),
 				Give: []core.ProposedTransfer{{
-					To:     chain.PartyID(fmt.Sprintf("r%d-p%d", r, (i+1)%ringSize)),
+					To:     chain.PartyID(fmt.Sprintf("r%d-p%d", group, (i+1)%ringSize)),
 					Chain:  loadChains[(r+i)%len(loadChains)],
 					Asset:  chain.AssetID(fmt.Sprintf("asset-%d-%d", r, i)),
 					Amount: uint64(1 + r%89),

@@ -155,6 +155,40 @@ func chainDigest(secret Secret, lock Lock, path digraph.Path, sigs [][]byte, pub
 	return out
 }
 
+// SeedVerified records h in the cache as a valid chain for lock under the
+// directory's keys, without checking any signature. The caller asserts
+// validity by construction; the legitimate cases are
+//
+//   - a key the party just built itself: its own signature over a chain it
+//     verified a moment ago (the follower's re-presentation of a broadcast
+//     or observed unlock), and
+//   - a key whose validity an on-chain contract already established.
+//
+// Structural checks still run, and an unknown signer still fails: seeding
+// can extend trust only from material the directory actually names. A nil
+// cache is a no-op. The payoff is that the party's own later
+// re-presentations — and every contract verifying them — start from a
+// pure cache hit (zero signature checks) instead of the one-signature
+// fast path.
+func (h Hashkey) SeedVerified(lock Lock, leader digraph.Vertex, dir Directory, cache *VerifyCache) error {
+	if cache == nil {
+		return nil
+	}
+	if err := h.checkStructure(lock, leader); err != nil {
+		return err
+	}
+	pubs := make([]ed25519.PublicKey, len(h.Path))
+	for i, v := range h.Path {
+		pub, ok := dir[v]
+		if !ok {
+			return fmt.Errorf("%w: vertex %d", ErrUnknownSigner, v)
+		}
+		pubs[i] = pub
+	}
+	cache.add(chainDigest(h.Secret, lock, h.Path, h.Sigs, pubs))
+	return nil
+}
+
 // VerifyExtended is Verify with an amortizing cache: structurally identical
 // checks, but signature-chain work already recorded in the cache is not
 // redone. A nil cache degrades to Verify. See VerifyCryptoExtended for the

@@ -104,6 +104,54 @@ func TestVerifyExtendedFastPath(t *testing.T) {
 // is validly cached but whose outermost link, path, secret, or lock is
 // tampered must still be rejected — the cache must never convert a hot
 // suffix into acceptance of a bad chain.
+// TestSeedVerified pins the broadcast re-presentation amortization: a
+// party that extends a just-verified key and seeds its own extension makes
+// every later verification of that extension a pure cache hit — zero
+// signature checks, where an unseeded cache would take the one-signature
+// fast path.
+func TestSeedVerified(t *testing.T) {
+	_, signers, dir := cacheBench(t)
+	secret, base := chainOfLen(t, signers, 1) // the "broadcast" key (1)
+	lock := secret.Lock()
+	cache := NewVerifyCache(0)
+
+	// The follower verifies the broadcast key (as OnBroadcast does)...
+	if err := base.VerifyCryptoExtended(lock, 1, dir, cache); err != nil {
+		t.Fatal(err)
+	}
+	// ...extends it with its own signature and seeds the extension.
+	mine := base.Extend(signers[2])
+	if err := mine.SeedVerified(lock, 1, dir, cache); err != nil {
+		t.Fatalf("SeedVerified: %v", err)
+	}
+
+	before := cache.Stats()
+	if err := mine.VerifyCryptoExtended(lock, 1, dir, cache); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("seeded extension not a pure hit: before %+v after %+v", before, after)
+	}
+	if after.Fastpath != before.Fastpath {
+		t.Fatalf("seeded extension took the fast path: %+v", after)
+	}
+
+	// Seeding refuses structural garbage and unknown signers: trust can
+	// only be asserted over material the lock/leader/directory name.
+	if err := mine.SeedVerified(lock, 3, dir, cache); !errors.Is(err, ErrWrongLeader) {
+		t.Fatalf("wrong leader seeded: %v", err)
+	}
+	delete(dir, 2)
+	if err := mine.SeedVerified(lock, 1, dir, cache); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("unknown signer seeded: %v", err)
+	}
+	// A nil cache is a no-op, not an error.
+	if err := mine.SeedVerified(lock, 1, dir, nil); err != nil {
+		t.Fatalf("nil cache: %v", err)
+	}
+}
+
 func TestCachePoisoning(t *testing.T) {
 	d, signers, dir := cacheBench(t)
 	secret, suffix := chainOfLen(t, signers, 3) // valid path (0,1,2,3)

@@ -1,0 +1,447 @@
+// Package sched is the unified pluggable time layer of the swap system.
+//
+// The paper's protocol is specified entirely in Δ-scaled virtual time; the
+// repo historically realized that model twice — the discrete-event heap in
+// internal/sim and the WallClock + time.AfterFunc machinery in internal/conc
+// — with incompatible APIs. This package extracts the one abstraction both
+// need: a Scheduler that tells the current virtual tick and runs callbacks
+// at future ticks, with cancellable timers and no sleeping.
+//
+// Three implementations exist:
+//
+//   - sim.Scheduler: the single-threaded deterministic event loop the
+//     simulator and core.Runner drive (it implements sched.Scheduler).
+//   - Real: virtual ticks mapped onto wall-clock time (tick = a configured
+//     wall duration), timers backed by time.AfterFunc. This is the
+//     production shape of the concurrent runtime.
+//   - Virtual: a concurrent event-driven scheduler whose clock advances as
+//     fast as callbacks drain — goroutine-backed runtimes become CPU-bound
+//     instead of wall-clock-bound, so thousand-swap engine loads clear in
+//     milliseconds.
+//
+// The Hold mechanism is what makes Virtual safe under real concurrency:
+// any in-flight work (a delivery sitting in a party mailbox, a runtime
+// mid-setup) holds the clock still, so virtual time never jumps past a
+// deadline while the action that should beat the deadline is still queued.
+package sched
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// Timer is a scheduled callback that can be cancelled before it runs.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the cancellation
+	// prevented the callback from running (false if it already ran or was
+	// already stopped).
+	Stop() bool
+}
+
+// Scheduler is the pluggable time source and timer service shared by every
+// runtime. Implementations are safe for concurrent use unless documented
+// otherwise (sim.Scheduler is single-threaded by design).
+type Scheduler interface {
+	vtime.Clock
+
+	// At schedules fn to run at virtual tick t. Scheduling at or before
+	// the current tick runs fn as soon as possible; time never moves
+	// backwards. fn runs on an implementation-chosen goroutine and must
+	// not block indefinitely.
+	At(t vtime.Ticks, fn func()) Timer
+
+	// Hold pins virtual time: while any hold is outstanding the clock
+	// does not advance past due timers' ticks. The returned release
+	// function must be called exactly once; it is idempotent. Real
+	// schedulers (where time advances on its own) return a no-op.
+	Hold() func()
+}
+
+// ---------------------------------------------------------------------------
+// Real: wall-clock-backed scheduler.
+
+// Real maps virtual ticks onto wall-clock time: one virtual tick per
+// configured wall duration, timers backed by time.AfterFunc. It replaces
+// the former conc.WallClock plus the ad-hoc per-run timer machinery.
+type Real struct {
+	start time.Time
+	tick  time.Duration
+}
+
+// DefaultTick is the default wall duration of one virtual tick.
+const DefaultTick = 2 * time.Millisecond
+
+// NewReal starts a real-time scheduler ticking now, one virtual tick per
+// tick of wall time (DefaultTick if tick <= 0).
+func NewReal(tick time.Duration) *Real {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	return &Real{start: time.Now(), tick: tick}
+}
+
+// Now returns the current virtual tick.
+func (r *Real) Now() vtime.Ticks {
+	return vtime.Ticks(time.Since(r.start) / r.tick)
+}
+
+// Tick returns the wall duration of one virtual tick.
+func (r *Real) Tick() time.Duration { return r.tick }
+
+// Until returns the wall duration from now until virtual tick t (negative
+// if t has passed).
+func (r *Real) Until(t vtime.Ticks) time.Duration {
+	return time.Until(r.start.Add(time.Duration(t) * r.tick))
+}
+
+// At implements Scheduler using time.AfterFunc.
+func (r *Real) At(t vtime.Ticks, fn func()) Timer {
+	d := r.Until(t)
+	if d < 0 {
+		d = 0
+	}
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+// Hold implements Scheduler. Wall time cannot be held; callers relying on
+// holds for correctness must budget jitter margins instead (see the conc
+// runtime's quarter-Δ delivery margin).
+func (r *Real) Hold() func() { return func() {} }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// ---------------------------------------------------------------------------
+// Virtual: event-driven scheduler for concurrent runtimes.
+
+// vevent states.
+const (
+	vePending = iota
+	veFired
+	veStopped
+)
+
+type vevent struct {
+	at    vtime.Ticks
+	seq   int64
+	fn    func()
+	state int
+}
+
+type veventHeap []*vevent
+
+func (h veventHeap) Len() int { return len(h) }
+func (h veventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h veventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *veventHeap) Push(x any)   { *h = append(*h, x.(*vevent)) }
+func (h *veventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Virtual is a thread-safe discrete-event scheduler whose clock advances
+// only when nothing holds it: a dispatcher goroutine pops the earliest
+// event once every outstanding hold is released, jumps the clock to it,
+// and runs the callback (itself counted as a hold, so cascades triggered
+// by a callback all land before time moves again). Same-tick events run
+// in scheduling order, serialized on the dispatcher — unless built with
+// NewVirtualConcurrent, which trades that determinism for multicore
+// throughput.
+//
+// Create with NewVirtual and Close when done to stop the dispatcher.
+type Virtual struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	now    vtime.Ticks
+	seq    int64
+	queue  veventHeap
+	holds  int
+	closed bool
+	// concurrent dispatches all events of one tick in parallel instead of
+	// in scheduling order.
+	concurrent bool
+	done       chan struct{}
+}
+
+// NewVirtual returns a running virtual-time scheduler starting at tick 0.
+// Same-tick events run serialized in scheduling order (deterministic,
+// like sim.Scheduler).
+func NewVirtual() *Virtual {
+	v := &Virtual{done: make(chan struct{})}
+	v.cond = sync.NewCond(&v.mu)
+	go v.loop()
+	return v
+}
+
+// NewVirtualConcurrent returns a virtual scheduler that runs all events
+// of one tick concurrently, each on its own goroutine, and advances only
+// when the whole tick (and everything it holds) has drained. Same-tick
+// ordering becomes racy — exactly as racy as the real-time scheduler —
+// in exchange for spreading callback work (contract crypto above all)
+// across cores. This is the clearing engine's virtual mode.
+func NewVirtualConcurrent() *Virtual {
+	v := &Virtual{concurrent: true, done: make(chan struct{})}
+	v.cond = sync.NewCond(&v.mu)
+	go v.loop()
+	return v
+}
+
+// Now implements vtime.Clock.
+func (v *Virtual) Now() vtime.Ticks {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// At implements Scheduler. After Close the callback is silently dropped.
+func (v *Virtual) At(t vtime.Ticks, fn func()) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return stoppedTimer{}
+	}
+	if t < v.now {
+		t = v.now
+	}
+	v.seq++
+	e := &vevent{at: t, seq: v.seq, fn: fn}
+	heap.Push(&v.queue, e)
+	v.cond.Broadcast()
+	return &virtualTimer{v: v, e: e}
+}
+
+// Hold implements Scheduler: time stands still until the returned release
+// is called. Safe to call from callbacks and from external goroutines.
+func (v *Virtual) Hold() func() {
+	v.mu.Lock()
+	v.holds++
+	v.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			v.mu.Lock()
+			v.holds--
+			v.cond.Broadcast()
+			v.mu.Unlock()
+		})
+	}
+}
+
+// Pending reports the number of queued (non-cancelled) events.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, e := range v.queue {
+		if e.state == vePending {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops the dispatcher; queued events never run. Idempotent.
+func (v *Virtual) Close() {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return
+	}
+	v.closed = true
+	v.cond.Broadcast()
+	v.mu.Unlock()
+	<-v.done
+}
+
+func (v *Virtual) loop() {
+	for {
+		v.mu.Lock()
+		for !v.closed && (v.holds > 0 || len(v.queue) == 0) {
+			v.cond.Wait()
+		}
+		if v.closed {
+			v.mu.Unlock()
+			close(v.done)
+			return
+		}
+		if !v.concurrent {
+			e := heap.Pop(&v.queue).(*vevent)
+			if e.state != vePending {
+				v.mu.Unlock() // cancelled: discard without advancing time
+				continue
+			}
+			e.state = veFired
+			if e.at > v.now {
+				v.now = e.at
+			}
+			// The running callback holds the clock: everything it schedules
+			// at the current tick (or enqueues behind a Hold of its own)
+			// settles before time advances again.
+			v.holds++
+			v.mu.Unlock()
+			e.fn()
+			v.release()
+			continue
+		}
+		// Concurrent mode: drain the whole head tick in one parallel
+		// batch. Cascades that land back on this tick are picked up by
+		// the next loop round (now never regresses, so they run before
+		// any later tick).
+		t := v.queue[0].at
+		var batch []*vevent
+		for len(v.queue) > 0 && v.queue[0].at == t {
+			e := heap.Pop(&v.queue).(*vevent)
+			if e.state != vePending {
+				continue
+			}
+			e.state = veFired
+			batch = append(batch, e)
+		}
+		if len(batch) == 0 {
+			v.mu.Unlock()
+			continue
+		}
+		if t > v.now {
+			v.now = t
+		}
+		v.holds += len(batch)
+		v.mu.Unlock()
+		for _, e := range batch {
+			go func(fn func()) {
+				fn()
+				v.release()
+			}(e.fn)
+		}
+	}
+}
+
+func (v *Virtual) release() {
+	v.mu.Lock()
+	v.holds--
+	v.cond.Broadcast()
+	v.mu.Unlock()
+}
+
+type virtualTimer struct {
+	v *Virtual
+	e *vevent
+}
+
+func (t *virtualTimer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	if t.e.state != vePending {
+		return false
+	}
+	t.e.state = veStopped
+	return true
+}
+
+// stoppedTimer is returned for events scheduled after Close.
+type stoppedTimer struct{}
+
+func (stoppedTimer) Stop() bool { return false }
+
+// ---------------------------------------------------------------------------
+// LatencyProbe: observed notification-latency estimator for adaptive Δ.
+
+// LatencyProbe aggregates observed delivery lag — how far past its
+// scheduled tick a notification actually reached a party — as an EWMA plus
+// a per-window maximum. The clearing engine reads it to adapt Δ: the spec
+// Δ may shrink toward the hardware's real detection latency, but never
+// below the observed lag plus a safety margin (see DESIGN.md §6).
+//
+// It implements chain.DeliveryProbe, so a registry can carry one and every
+// runtime sharing the registry feeds it without extra plumbing.
+type LatencyProbe struct {
+	mu        sync.Mutex
+	ewma      float64
+	samples   uint64
+	windowN   uint64
+	windowMax vtime.Duration
+}
+
+// ewmaAlpha weights new observations; ~1/16 smooths per-delivery noise
+// while tracking load shifts within a few clearing intervals.
+const ewmaAlpha = 1.0 / 16
+
+// NewLatencyProbe returns an empty probe.
+func NewLatencyProbe() *LatencyProbe { return &LatencyProbe{} }
+
+// Observe records one delivery lag, in ticks. Negative lags (deliveries
+// that ran early relative to target, possible only under virtual time)
+// count as zero.
+func (p *LatencyProbe) Observe(lag vtime.Duration) {
+	if lag < 0 {
+		lag = 0
+	}
+	p.mu.Lock()
+	if p.samples == 0 {
+		p.ewma = float64(lag)
+	} else {
+		p.ewma += ewmaAlpha * (float64(lag) - p.ewma)
+	}
+	p.samples++
+	p.windowN++
+	if lag > p.windowMax {
+		p.windowMax = lag
+	}
+	p.mu.Unlock()
+}
+
+// LatencySnapshot is a point-in-time view of the probe.
+type LatencySnapshot struct {
+	// EWMA is the smoothed delivery lag in ticks.
+	EWMA float64
+	// WindowMax is the worst lag since the last TakeWindow.
+	WindowMax vtime.Duration
+	// WindowSamples counts observations since the last TakeWindow —
+	// controllers gate on it so an empty window cannot retrigger a
+	// decision on stale data.
+	WindowSamples uint64
+	// Samples counts observations since creation.
+	Samples uint64
+}
+
+// Snapshot returns the current estimate without resetting the window.
+func (p *LatencyProbe) Snapshot() LatencySnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return LatencySnapshot{EWMA: p.ewma, WindowMax: p.windowMax, WindowSamples: p.windowN, Samples: p.samples}
+}
+
+// TakeWindow returns the current snapshot and resets the window (max and
+// sample count), so stale worst cases decay instead of pinning Δ high
+// forever.
+func (p *LatencyProbe) TakeWindow() LatencySnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := LatencySnapshot{EWMA: p.ewma, WindowMax: p.windowMax, WindowSamples: p.windowN, Samples: p.samples}
+	p.windowMax = 0
+	p.windowN = 0
+	return s
+}
+
+// EstimateTicks returns a conservative whole-tick latency estimate: the
+// ceiling of the EWMA or the window max, whichever is larger.
+func (s LatencySnapshot) EstimateTicks() vtime.Duration {
+	est := vtime.Duration(math.Ceil(s.EWMA))
+	if s.WindowMax > est {
+		est = s.WindowMax
+	}
+	return est
+}

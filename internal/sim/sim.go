@@ -7,20 +7,27 @@
 // observable consequences as future events, virtual time jumps from event
 // to event, and ties are broken by scheduling order, so a run is a pure
 // function of its inputs and seed.
+//
+// Scheduler is the deterministic implementation of sched.Scheduler; the
+// real-time and free-running virtual implementations live in
+// internal/sched. Unlike those, this one is single-threaded by contract:
+// the caller drives it with Step/Run/RunUntil and no locking is done.
 package sim
 
 import (
 	"container/heap"
 	"math/rand"
 
+	"github.com/go-atomicswap/atomicswap/internal/sched"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
 // event is a scheduled callback.
 type event struct {
-	at  vtime.Ticks
-	seq int64 // tie-break: FIFO among same-tick events
-	fn  func()
+	at      vtime.Ticks
+	seq     int64 // tie-break: FIFO among same-tick events
+	fn      func()
+	stopped bool
 }
 
 // eventHeap orders events by (at, seq).
@@ -54,6 +61,9 @@ type Scheduler struct {
 	nSteps int
 }
 
+// Scheduler is the deterministic sched.Scheduler implementation.
+var _ sched.Scheduler = (*Scheduler)(nil)
+
 // New returns a scheduler starting at tick 0 with the given seed for any
 // randomized policies layered on top.
 func New(seed int64) *Scheduler {
@@ -66,39 +76,72 @@ func (s *Scheduler) Now() vtime.Ticks { return s.now }
 // Rand returns the scheduler's seeded random source.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at the given tick. Scheduling in the past (or
-// present) runs at the current tick, after already-queued current-tick
-// events — time never moves backwards.
-func (s *Scheduler) At(t vtime.Ticks, fn func()) {
+// At schedules fn to run at the given tick and returns a cancellable
+// timer. Scheduling in the past (or present) runs at the current tick,
+// after already-queued current-tick events — time never moves backwards.
+func (s *Scheduler) At(t vtime.Ticks, fn func()) sched.Timer {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	e := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return (*simTimer)(e)
 }
 
 // After schedules fn to run d ticks from now.
-func (s *Scheduler) After(d vtime.Duration, fn func()) {
-	s.At(s.now.Add(d), fn)
+func (s *Scheduler) After(d vtime.Duration, fn func()) sched.Timer {
+	return s.At(s.now.Add(d), fn)
 }
 
-// Pending reports the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Hold implements sched.Scheduler. The deterministic scheduler only
+// advances when the caller steps it, so there is nothing to pin.
+func (s *Scheduler) Hold() func() { return func() {} }
+
+// simTimer cancels an event lazily: the heap entry stays and is discarded
+// — without advancing time or counting a step — when popped.
+type simTimer event
+
+// Stop implements sched.Timer.
+func (t *simTimer) Stop() bool {
+	if t.stopped || t.fn == nil {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Pending reports the number of queued (non-cancelled) events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.stopped {
+			n++
+		}
+	}
+	return n
+}
 
 // Steps reports how many events have been executed.
 func (s *Scheduler) Steps() int { return s.nSteps }
 
-// Step executes the next event, advancing time to it. It reports whether
-// an event was executed.
+// Step executes the next live event, advancing time to it. Cancelled
+// events are discarded without advancing time or counting a step. It
+// reports whether an event was executed.
 func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
-		return false
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.stopped {
+			continue
+		}
+		s.now = e.at
+		s.nSteps++
+		fn := e.fn
+		e.fn = nil // marks the event as fired for Timer.Stop
+		fn()
+		return true
 	}
-	e := heap.Pop(&s.queue).(*event)
-	s.now = e.at
-	s.nSteps++
-	e.fn()
-	return true
+	return false
 }
 
 // Run executes events until the queue is empty and returns the final time.
@@ -112,7 +155,14 @@ func (s *Scheduler) Run() vtime.Ticks {
 // stay queued. Time advances to the deadline if the queue drains first or
 // only later events remain.
 func (s *Scheduler) RunUntil(deadline vtime.Ticks) vtime.Ticks {
-	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for len(s.queue) > 0 {
+		if s.queue[0].stopped {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if s.queue[0].at > deadline {
+			break
+		}
 		s.Step()
 	}
 	if s.now < deadline {

@@ -129,6 +129,54 @@ func TestCascadedEvents(t *testing.T) {
 	}
 }
 
+func TestTimerCancellation(t *testing.T) {
+	s := New(1)
+	var ran []int
+	tm := s.At(10, func() { ran = append(ran, 1) })
+	s.At(20, func() { ran = append(ran, 2) })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer must report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop must report false")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancel, want 1", s.Pending())
+	}
+	end := s.Run()
+	if len(ran) != 1 || ran[0] != 2 {
+		t.Fatalf("ran %v, want [2]", ran)
+	}
+	if end != 20 || s.Steps() != 1 {
+		t.Fatalf("end=%d steps=%d: cancelled event advanced time or counted", end, s.Steps())
+	}
+	// A fired timer cannot be stopped.
+	tm2 := s.At(30, func() {})
+	s.Run()
+	if tm2.Stop() {
+		t.Fatal("Stop after firing must report false")
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	s := New(1)
+	var ran []int
+	tm := s.At(5, func() { ran = append(ran, 1) })
+	s.At(50, func() { ran = append(ran, 2) })
+	tm.Stop()
+	// The cancelled head must not let RunUntil execute the tick-50 event.
+	if now := s.RunUntil(10); now != 10 {
+		t.Fatalf("RunUntil = %d, want 10", now)
+	}
+	if len(ran) != 0 {
+		t.Fatalf("ran %v, want none", ran)
+	}
+	s.Run()
+	if len(ran) != 1 || ran[0] != 2 {
+		t.Fatalf("ran %v, want [2]", ran)
+	}
+}
+
 func TestDeterministicRand(t *testing.T) {
 	a, b := New(42), New(42)
 	for i := 0; i < 10; i++ {
