@@ -34,6 +34,7 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/metrics"
@@ -296,6 +297,40 @@ const (
 
 // NewEngine creates a clearing engine (call Start before Submit).
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// Open-loop load generation: drive an engine from a configurable arrival
+// process on its own scheduler (instead of pre-loading the book) and
+// measure submit-to-settle latency percentiles under sustained intake.
+type (
+	// ArrivalProcess shapes open-loop inter-arrival gaps.
+	ArrivalProcess = loadgen.Process
+	// ConstantArrivals spaces arrivals exactly evenly.
+	ConstantArrivals = loadgen.Constant
+	// PoissonArrivals draws memoryless exponential gaps.
+	PoissonArrivals = loadgen.Poisson
+	// BurstArrivals clusters arrivals into synchronized spikes.
+	BurstArrivals = loadgen.Burst
+	// RampArrivals sweeps the rate linearly across the run.
+	RampArrivals = loadgen.Ramp
+	// OpenLoadConfig parameterizes one open-loop load.
+	OpenLoadConfig = loadgen.Config
+	// OpenLoadStats is the generator's intake accounting.
+	OpenLoadStats = loadgen.Stats
+	// OpenLoadReport couples the engine report with the load stats.
+	OpenLoadReport = loadgen.Report
+)
+
+// RunOpenLoad streams one open-loop load through a fresh engine: offers
+// arrive from the configured process at the configured average rate,
+// the engine drains, conservation is verified, and the combined report
+// (latency percentiles included) is returned.
+func RunOpenLoad(ecfg EngineConfig, lcfg OpenLoadConfig) (OpenLoadReport, error) {
+	return loadgen.RunOpenLoad(ecfg, lcfg)
+}
+
+// ParseArrivalProfile resolves "constant", "poisson", "burst[:n]", or
+// "ramp[:from:to]" to an ArrivalProcess.
+func ParseArrivalProfile(s string) (ArrivalProcess, error) { return loadgen.ParseProfile(s) }
 
 // ClearBatch partitions a batch of offers into disjoint swap setups plus
 // the residual offers that cannot clear yet — the multi-swap

@@ -15,6 +15,7 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/pebble"
@@ -194,7 +195,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				b.Fatalf("finished %d swaps (%d failed), want %d clean",
 					rep.SwapsFinished, rep.SwapsFailed, rings)
 			}
-			offers += rep.OffersPerSec
+			offers += rep.OffersClearedPerSec
 			swaps += rep.SwapsPerSec
 		}
 		b.ReportMetric(offers/float64(b.N), "offers/sec")
@@ -229,6 +230,41 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	})
 	b.Run("adaptive-swaps-8", func(b *testing.B) {
 		runMode(b, 8, 3*8, wide(true), engine.WithPartyPool(8))
+	})
+	// openloop-vtime-8: the open-loop series — offers stream in from a
+	// Poisson arrival process on the shared scheduler instead of
+	// pre-loading the book, and the interesting output is tail latency
+	// (p95/p99 of submit-to-settle) under sustained intake.
+	b.Run("openloop-vtime-8", func(b *testing.B) {
+		var swaps, p95, p99 float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := engineCfg(8, i)
+			cfg.Virtual = true
+			rep, err := loadgen.RunOpenLoad(cfg, loadgen.Config{
+				Offers:    96,
+				Rate:      4000,
+				Process:   loadgen.Poisson{},
+				PartyPool: 8,
+				Seed:      int64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Load.Shed != 0 || rep.Load.Submitted != rep.Load.Offered {
+				b.Fatalf("open-loop load degraded: %+v / %+v", rep.Throughput, rep.Load)
+			}
+			if rep.P95LatencyMs <= 0 {
+				b.Fatalf("zeroed p95 under virtual time: %+v", rep.Throughput)
+			}
+			swaps += rep.SwapsPerSec
+			p95 += rep.P95LatencyMs
+			p99 += rep.P99LatencyMs
+		}
+		b.ReportMetric(swaps/float64(b.N), "swaps/sec")
+		b.ReportMetric(p95/float64(b.N), "p95-ms")
+		b.ReportMetric(p99/float64(b.N), "p99-ms")
 	})
 }
 

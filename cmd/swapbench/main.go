@@ -6,6 +6,8 @@
 //
 //	swapbench [-only E5[,E9,...]]
 //	swapbench -engine-json [-vtime] [-adaptive-delta]
+//	swapbench -engine-json -arrival-rate 4000 [-profile poisson] [-vtime]
+//	swapbench -openloop-json
 //	swapbench -bench-json
 //
 // With -engine-json it instead sweeps the clearing engine at 1, 8, and 64
@@ -13,13 +15,22 @@
 // trajectory format), skipping the experiment tables. -vtime runs the
 // sweep on the virtual-time scheduler (CPU-bound, fast, deterministic
 // timing); -adaptive-delta enables the observed-latency Δ controller.
-// With -bench-json it emits the full trajectory point: the engine sweep
-// in all three time modes plus the hot-path micro-benchmarks (hashkey
-// verification cached/uncached, keyring vs fresh-keygen setup) — the
-// format committed as BENCH_NN.json files.
+// Adding -arrival-rate switches the sweep from closed-loop (whole book
+// submitted up front) to open-loop: offers arrive from the -profile
+// arrival process (constant, poisson, burst[:n], ramp[:from:to]) at the
+// given average offers/sec, and the report carries latency percentiles.
+// With -openloop-json it emits the open-loop trajectory point committed
+// as BENCH_03.json: a virtual-time rate sweep (latency percentiles vs
+// offered load) plus the fixed-Δ vs adaptive-Δ pair at equal offered
+// load on the real scheduler. With -bench-json it emits the full older
+// trajectory point: the engine sweep in all three time modes plus the
+// hot-path micro-benchmarks (hashkey verification cached/uncached,
+// keyring vs fresh-keygen setup) — the format committed as BENCH_NN.json
+// files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -29,6 +40,7 @@ import (
 
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
 	"github.com/go-atomicswap/atomicswap/internal/expt"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
@@ -105,6 +117,125 @@ func adaptivePair() error {
 			name = "engine_wideadaptive"
 		}
 		fmt.Printf("{\"bench\":%q,\"concurrency\":%d,\"report\":%s}\n", name, workers, rep.JSON())
+	}
+	return nil
+}
+
+// openLoopPoint runs one open-loop load and prints its JSON line: the
+// engine report (latency percentiles, Δ trajectory) plus the generator's
+// intake accounting.
+func openLoopPoint(bench string, workers int, cfg engine.Config, lcfg loadgen.Config) error {
+	rep, err := loadgen.RunOpenLoad(cfg, lcfg)
+	if err != nil {
+		return fmt.Errorf("%s at %d workers: %w", bench, workers, err)
+	}
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("{\"bench\":%q,\"concurrency\":%d,\"report\":%s}\n", bench, workers, body)
+	return nil
+}
+
+// openLoopSweep replaces the closed-loop engine sweep when an arrival
+// rate is given: the same 1/8/64 concurrency ladder, but offers stream
+// in from the arrival process instead of pre-loading the book.
+func openLoopSweep(rate float64, p loadgen.Process, virtual, adaptive bool) error {
+	bench := "engine_openloop"
+	switch {
+	case virtual && adaptive:
+		bench = "engine_openloop_vtime_adaptive"
+	case virtual:
+		bench = "engine_openloop_vtime"
+	case adaptive:
+		bench = "engine_openloop_adaptive"
+	}
+	for _, workers := range []int{1, 8, 64} {
+		cfg := engine.Config{
+			Workers:       workers,
+			Tick:          time.Millisecond,
+			Delta:         vtime.Duration(20),
+			ClearInterval: time.Millisecond,
+			MaxBatch:      4096,
+			Seed:          int64(workers),
+			Virtual:       virtual,
+			AdaptiveDelta: adaptive,
+		}
+		lcfg := loadgen.Config{
+			Offers:    12 * workers,
+			Rate:      rate,
+			Process:   p,
+			PartyPool: workers,
+			Seed:      int64(workers),
+		}
+		if err := openLoopPoint(bench, workers, cfg, lcfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openLoopTrajectory emits the BENCH_03 point: tail latency versus
+// offered load under virtual time (including a burst profile), then the
+// adaptive-Δ payoff measured the way it is actually felt — submit-to-
+// settle latency percentiles at equal offered load on the real
+// scheduler, wide fixed Δ versus the controller.
+func openLoopTrajectory() error {
+	const workers = 8
+	vcfg := func(seed int64) engine.Config {
+		return engine.Config{
+			Workers:       workers,
+			Tick:          time.Millisecond,
+			Delta:         vtime.Duration(20),
+			ClearInterval: time.Millisecond,
+			MaxBatch:      4096,
+			Seed:          seed,
+			Virtual:       true,
+		}
+	}
+	// Latency vs offered load, Poisson arrivals on virtual time.
+	for _, rate := range []float64{1000, 4000, 16000} {
+		lcfg := loadgen.Config{
+			Offers: 240, Rate: rate, Process: loadgen.Poisson{},
+			PartyPool: workers, Seed: 11,
+		}
+		if err := openLoopPoint("engine_openloop_vtime", workers, vcfg(int64(rate)), lcfg); err != nil {
+			return err
+		}
+	}
+	// Synchronized spikes: same average rate, bursts of 16.
+	if err := openLoopPoint("engine_openloop_vtime_burst", workers, vcfg(5), loadgen.Config{
+		Offers: 240, Rate: 4000, Process: loadgen.Burst{Size: 16},
+		PartyPool: workers, Seed: 11,
+	}); err != nil {
+		return err
+	}
+	// Fixed wide Δ vs adaptive Δ at equal offered load, real scheduler:
+	// the latency the conservative timelock width costs, and how much of
+	// it the controller gives back.
+	for _, adaptive := range []bool{false, true} {
+		cfg := engine.Config{
+			Workers:       workers,
+			Tick:          time.Millisecond,
+			Delta:         100,
+			ClearInterval: time.Millisecond,
+			MaxBatch:      4096,
+			Seed:          7,
+			MaxClearAhead: workers,
+			AdaptiveDelta: adaptive,
+			MinDelta:      8,
+		}
+		bench := "engine_openloop_widefixed"
+		if adaptive {
+			bench = "engine_openloop_adaptive"
+		}
+		lcfg := loadgen.Config{
+			Offers: 120, Rate: 600, Process: loadgen.Poisson{},
+			PartyPool: workers, Seed: 13,
+		}
+		if err := openLoopPoint(bench, workers, cfg, lcfg); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -197,15 +328,32 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	engineJSON := flag.Bool("engine-json", false, "emit engine throughput sweep as JSON and exit")
 	fullBenchJSON := flag.Bool("bench-json", false, "emit micro-benchmarks plus engine sweeps (all time modes) as JSON and exit")
+	openLoopJSON := flag.Bool("openloop-json", false, "emit the open-loop trajectory point (latency vs offered load, fixed vs adaptive Δ) as JSON and exit")
 	vtimeFlag := flag.Bool("vtime", false, "run the -engine-json sweep on the virtual-time scheduler")
 	adaptiveFlag := flag.Bool("adaptive-delta", false, "enable the observed-latency adaptive-Δ controller in the -engine-json sweep")
+	arrivalRate := flag.Float64("arrival-rate", 0, "open-loop intake: average offered load in offers/sec (0 = closed-loop, book pre-loaded)")
+	profileFlag := flag.String("profile", "poisson", "arrival process for -arrival-rate: constant, poisson, burst[:n], ramp[:from:to]")
 	flag.Parse()
 
-	if *engineJSON || *fullBenchJSON {
+	if *arrivalRate > 0 && (*fullBenchJSON || *openLoopJSON) {
+		fmt.Fprintln(os.Stderr, "-arrival-rate configures the -engine-json sweep; -bench-json and -openloop-json fix their own loads")
+		os.Exit(2)
+	}
+	// -arrival-rate implies the engine sweep: silently falling through to
+	// the closed-loop experiment tables would measure the wrong thing.
+	if *engineJSON || *fullBenchJSON || *openLoopJSON || *arrivalRate > 0 {
 		var err error
-		if *fullBenchJSON {
+		switch {
+		case *openLoopJSON:
+			err = openLoopTrajectory()
+		case *fullBenchJSON:
 			err = benchJSON()
-		} else {
+		case *arrivalRate > 0:
+			var p loadgen.Process
+			if p, err = loadgen.ParseProfile(*profileFlag); err == nil {
+				err = openLoopSweep(*arrivalRate, p, *vtimeFlag, *adaptiveFlag)
+			}
+		default:
 			err = engineSweep(*vtimeFlag, *adaptiveFlag)
 		}
 		if err != nil {

@@ -9,13 +9,22 @@
 //	      [-adversary 0.1] [-conflicts 0.05] [-tick 2ms] [-delta 30]
 //	      [-vtime] [-adaptive-delta] [-min-delta 4] [-max-delta 120]
 //	      [-clear-ahead 64] [-seed 1] [-json]
+//	swapd -arrival-rate 2000 [-profile poisson] [-party-pool 64]
+//	      [-max-pending 4096] ...
 //
-// With -json the report is a single JSON object (the BENCH trajectory
-// format); otherwise a human-readable summary.
+// By default the whole book is submitted up front (closed loop). With
+// -arrival-rate offers instead stream in open-loop from the -profile
+// arrival process (constant, poisson, burst[:n], ramp[:from:to]) at the
+// given average offers/sec on the engine's scheduler; the report then
+// carries submit-to-settle latency percentiles and, under
+// -adaptive-delta, the Δ trajectory. With -json the report is a single
+// JSON object (the BENCH trajectory format); otherwise a human-readable
+// summary.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,10 +35,50 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/chain"
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
 var chainNames = []string{"btc", "eth", "sol", "ada", "dot", "xmr", "ltc", "atom"}
+
+// runOpenLoop streams an open-loop load into the started engine and
+// reports, mirroring the closed-loop tail of main.
+func runOpenLoop(eng *engine.Engine, rate float64, profile string,
+	offers, ringMin, ringMax, partyPool, maxPending int,
+	seed int64, timeout time.Duration, jsonOut bool) {
+	proc, err := loadgen.ParseProfile(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	rep, err := loadgen.Drive(ctx, eng, loadgen.Config{
+		Offers:     offers,
+		RingMin:    ringMin,
+		RingMax:    ringMax,
+		Rate:       rate,
+		Process:    proc,
+		PartyPool:  partyPool,
+		MaxPending: maxPending,
+		Seed:       seed,
+	})
+	if err != nil {
+		log.Fatalf("open-loop run: %v", err)
+	}
+	if jsonOut {
+		b, err := json.Marshal(rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("open-loop load: %s arrivals at %.0f offers/sec over ticks [%d, %d]\n",
+			rep.Profile, rep.OfferedRate, rep.Load.FirstTick, rep.Load.LastTick)
+		fmt.Printf("intake: %d offered, %d submitted, %d shed, %d refused, conservation verified\n\n",
+			rep.Load.Offered, rep.Load.Submitted, rep.Load.Shed, rep.Load.Refused)
+		fmt.Println(rep.Throughput)
+	}
+}
 
 func main() {
 	var (
@@ -49,10 +98,18 @@ func main() {
 		seed      = flag.Int64("seed", 1, "load-generation seed")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "drain deadline")
+
+		arrivalRate = flag.Float64("arrival-rate", 0, "open-loop intake: average offered load in offers/sec (0 = closed-loop, book pre-loaded)")
+		profile     = flag.String("profile", "poisson", "arrival process for -arrival-rate: constant, poisson, burst[:n], ramp[:from:to]")
+		partyPool   = flag.Int("party-pool", 0, "open-loop: reuse this many ring-group identities (0 = fresh parties per ring)")
+		maxPending  = flag.Int("max-pending", 0, "open-loop shed threshold on the pending book (0 = default, negative = never shed)")
 	)
 	flag.Parse()
 	if *ringMin < 2 || *ringMax < *ringMin {
 		log.Fatal("need 2 <= ring-min <= ring-max")
+	}
+	if *arrivalRate > 0 && *conflicts > 0 {
+		log.Fatal("-conflicts is a closed-loop feature; drop it or -arrival-rate")
 	}
 
 	eng := engine.New(engine.Config{
@@ -70,6 +127,12 @@ func main() {
 	})
 	if err := eng.Start(); err != nil {
 		log.Fatal(err)
+	}
+
+	if *arrivalRate > 0 {
+		runOpenLoop(eng, *arrivalRate, *profile, *offers, *ringMin, *ringMax,
+			*partyPool, *maxPending, *seed, *timeout, *jsonOut)
+		return
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

@@ -167,7 +167,13 @@ type Engine struct {
 	nextSwap  uint64
 	inflight  int // cleared jobs queued or executing
 	minted    []mintRec
-	rng       *rand.Rand
+
+	// rng drives adversary selection. It is NOT safe for concurrent use
+	// and is confined to the clearing goroutine (clearLoop → clearRound →
+	// clearGroup): never touch it from Submit, workers, or any other
+	// goroutine. clearRounds is confined the same way.
+	rng         *rand.Rand
+	clearRounds int
 }
 
 // New creates an engine with its own shared clock and chain registry.
@@ -238,6 +244,16 @@ func New(cfg Config) *Engine {
 // Registry exposes the shared chain registry (for invariant checks).
 func (e *Engine) Registry() *chain.Registry { return e.reg }
 
+// Scheduler exposes the engine's shared time scheduler, so load
+// generators can drive arrival processes on the same clock the swaps run
+// against (real or virtual).
+func (e *Engine) Scheduler() sched.Scheduler { return e.sched }
+
+// Tick reports the configured wall duration of one virtual tick (the
+// rate-to-ticks conversion factor for schedules driven through
+// Scheduler).
+func (e *Engine) Tick() time.Duration { return e.cfg.Tick }
+
 // Keyring exposes the persistent party keyring.
 func (e *Engine) Keyring() *core.Keyring { return e.keyring }
 
@@ -273,6 +289,13 @@ func (e *Engine) adaptDelta() {
 		target = e.cfg.MaxDelta
 	}
 	e.delta.Store(int64(target))
+	e.agg.AddDeltaPoint(metrics.DeltaPoint{
+		Round:          e.clearRounds,
+		DeltaTicks:     int(target),
+		WindowEWMA:     s.EWMA,
+		WindowMaxTicks: int(s.WindowMax),
+		WindowSamples:  int(s.WindowSamples),
+	})
 }
 
 // adaptMinSamples is how many delivery observations a window needs before
@@ -406,6 +429,7 @@ func (e *Engine) clearLoop() {
 		case <-e.stopClear:
 			return
 		case <-ticker.C:
+			e.clearRounds++
 			if e.cfg.AdaptiveDelta {
 				e.adaptDelta()
 			}
@@ -486,8 +510,10 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 	e.nextSwap++
 	swapID := fmt.Sprintf("swap-%06d", e.nextSwap)
 	seed := e.cfg.Seed + int64(e.nextSwap)
-	adversarial := e.cfg.AdversaryRate > 0 && e.rng.Float64() < e.cfg.AdversaryRate
 	e.mu.Unlock()
+	// The rng draw needs no lock: clearGroup only ever runs on the
+	// clearing goroutine, to which e.rng is confined (see the field doc).
+	adversarial := e.cfg.AdversaryRate > 0 && e.rng.Float64() < e.cfg.AdversaryRate
 
 	var held []resvKey
 	release := func() {

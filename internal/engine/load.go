@@ -13,6 +13,22 @@ import (
 // loadChains is the shared chain set RunLoad spreads its swaps over.
 var loadChains = []string{"btc", "eth", "sol", "ada"}
 
+// LoadOffer builds offer i of generated barter ring `ring` (size parties,
+// identity group `group`): the one offer shape both load harnesses —
+// closed-loop RunLoad and the open-loop generator in loadgen — submit,
+// so their measurements describe the same workload.
+func LoadOffer(ring, i, size, group int) core.Offer {
+	return core.Offer{
+		Party: chain.PartyID(fmt.Sprintf("r%d-p%d", group, i)),
+		Give: []core.ProposedTransfer{{
+			To:     chain.PartyID(fmt.Sprintf("r%d-p%d", group, (i+1)%size)),
+			Chain:  loadChains[(ring+i)%len(loadChains)],
+			Asset:  chain.AssetID(fmt.Sprintf("asset-%d-%d", ring, i)),
+			Amount: uint64(1 + ring%89),
+		}},
+	}
+}
+
 // LoadOption tweaks RunLoad's generated traffic.
 type LoadOption func(*loadOpts)
 
@@ -49,16 +65,7 @@ func RunLoad(cfg Config, rings, ringSize int, opts ...LoadOption) (metrics.Throu
 			group = r % o.partyPool
 		}
 		for i := 0; i < ringSize; i++ {
-			offer := core.Offer{
-				Party: chain.PartyID(fmt.Sprintf("r%d-p%d", group, i)),
-				Give: []core.ProposedTransfer{{
-					To:     chain.PartyID(fmt.Sprintf("r%d-p%d", group, (i+1)%ringSize)),
-					Chain:  loadChains[(r+i)%len(loadChains)],
-					Asset:  chain.AssetID(fmt.Sprintf("asset-%d-%d", r, i)),
-					Amount: uint64(1 + r%89),
-				}},
-			}
-			if _, err := e.Submit(offer); err != nil {
+			if _, err := e.Submit(LoadOffer(r, i, ringSize, group)); err != nil {
 				return metrics.Throughput{}, fmt.Errorf("engine: load submit: %w", err)
 			}
 		}

@@ -1,0 +1,255 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
+	"github.com/go-atomicswap/atomicswap/internal/sched"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// DefaultMaxPending is the bounded-intake backstop: once the engine's
+// pending book is this deep, further arrivals are shed instead of
+// submitted, so an overloaded engine degrades by visible shedding rather
+// than unbounded book growth.
+const DefaultMaxPending = 4096
+
+// Config parameterizes one open-loop load.
+type Config struct {
+	// Offers is the approximate number of offers to generate; the final
+	// barter ring is always completed, so the actual count (Stats.Offered)
+	// may overshoot by up to RingMax-1.
+	Offers int
+	// RingMin and RingMax bound generated barter-ring sizes (default 3/3).
+	RingMin, RingMax int
+	// Rate is the average offered load in offers per second of scheduler
+	// time (converted to ticks via the engine's Tick). Required.
+	Rate float64
+	// Process shapes arrivals around the average rate (default Constant).
+	Process Process
+	// PartyPool reuses a fixed pool of ring-group identities (ring r uses
+	// group r mod PartyPool); 0 mints fresh parties per ring.
+	PartyPool int
+	// MaxPending is the shed threshold on the engine's pending book
+	// (default DefaultMaxPending; negative disables shedding).
+	MaxPending int
+	// Seed drives the arrival schedule and ring-size draws.
+	Seed int64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.RingMin < 2 {
+		cfg.RingMin = 3
+	}
+	if cfg.RingMax < cfg.RingMin {
+		cfg.RingMax = cfg.RingMin
+	}
+	if cfg.Process == nil {
+		cfg.Process = Constant{}
+	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	return cfg
+}
+
+// Stats reports what the generator actually did.
+type Stats struct {
+	// Offered counts generated arrivals (submitted + shed + refused).
+	Offered int `json:"offered"`
+	// Submitted counts offers the engine accepted into the book.
+	Submitted int `json:"submitted"`
+	// Shed counts arrivals dropped by the bounded-intake backstop.
+	Shed int `json:"shed"`
+	// Refused counts offers the engine rejected at intake.
+	Refused int `json:"refused"`
+	// FirstTick and LastTick span the arrival schedule in virtual ticks.
+	FirstTick vtime.Ticks `json:"first_tick"`
+	LastTick  vtime.Ticks `json:"last_tick"`
+}
+
+// Run drives one open-loop load into a started engine: every offer is
+// submitted by a callback on the engine's scheduler at its scheduled
+// arrival tick, and Run returns once the last arrival has fired (or ctx
+// expires, cancelling the rest). The engine is left running — callers
+// own Drain/Stop, so loads can be layered or followed by more traffic —
+// but must not Stop it while Run is in flight (abort via ctx instead): a
+// closed scheduler drops queued arrivals without firing them.
+func Run(ctx context.Context, e *engine.Engine, cfg Config) (Stats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 {
+		return Stats{}, errors.New("loadgen: Rate must be positive")
+	}
+	if cfg.Offers <= 0 {
+		return Stats{}, errors.New("loadgen: Offers must be positive")
+	}
+	offers, ringOf := buildOffers(cfg)
+	ticks := Schedule(cfg.Process, len(offers), cfg.Rate, e.Tick(), cfg.Seed)
+
+	var (
+		mu sync.Mutex
+		st Stats
+		wg sync.WaitGroup
+		// shedRings makes shedding ring-granular: once any offer of a
+		// ring is shed, the ring's remaining arrivals are shed too.
+		// Per-offer shedding would strand partial rings in the book —
+		// offers that can never match — so a transient overload could pin
+		// Pending at the threshold and shed everything that follows.
+		// (Concurrent same-tick arrivals can still split a ring right at
+		// the threshold crossing; those stragglers are bounded per
+		// overload episode and rejected at drain.)
+		shedRings = make(map[int]bool)
+	)
+	st.Offered = len(offers)
+	st.FirstTick, st.LastTick = ticks[0], ticks[len(offers)-1]
+
+	sc := e.Scheduler()
+	timers := make([]sched.Timer, len(offers))
+	wg.Add(len(offers))
+	// Hold the clock while the schedule is installed: on a free-running
+	// virtual scheduler, time must not race past early arrival ticks
+	// before the later ones are even queued (a real scheduler's Hold is a
+	// no-op, and past-due timers fire immediately either way).
+	release := sc.Hold()
+	for i := range offers {
+		offer, ring := offers[i], ringOf[i]
+		timers[i] = sc.At(ticks[i], func() {
+			defer wg.Done()
+			mu.Lock()
+			shed := shedRings[ring]
+			if !shed && cfg.MaxPending > 0 && e.Pending() >= cfg.MaxPending {
+				shedRings[ring] = true
+				shed = true
+			}
+			if shed {
+				st.Shed++
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+			if _, err := e.Submit(offer); err != nil {
+				mu.Lock()
+				st.Refused++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			st.Submitted++
+			mu.Unlock()
+		})
+	}
+	release()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return st, nil
+	case <-ctx.Done():
+		for _, t := range timers {
+			if t.Stop() {
+				wg.Done()
+			}
+		}
+		// Wait out callbacks already in flight — but only briefly: a
+		// scheduler closed mid-load (an engine stopped under the run,
+		// against this function's contract) drops its callbacks without
+		// firing them, and cancellation must not hang on events that
+		// will never run.
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+		}
+		mu.Lock()
+		out := st
+		mu.Unlock()
+		return out, ctx.Err()
+	}
+}
+
+// buildOffers generates whole barter rings (via the shared
+// engine.LoadOffer shape, so open- and closed-loop harnesses measure the
+// same workload) until the offer budget is met, deterministically from
+// the seed. ringOf maps each offer back to its ring for ring-granular
+// shedding.
+func buildOffers(cfg Config) (offers []core.Offer, ringOf []int) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1)) // distinct stream from Schedule
+	offers = make([]core.Offer, 0, cfg.Offers+cfg.RingMax)
+	ringOf = make([]int, 0, cfg.Offers+cfg.RingMax)
+	for ring := 0; len(offers) < cfg.Offers; ring++ {
+		size := cfg.RingMin + rng.Intn(cfg.RingMax-cfg.RingMin+1)
+		group := ring
+		if cfg.PartyPool > 0 {
+			group = ring % cfg.PartyPool
+		}
+		for i := 0; i < size; i++ {
+			offers = append(offers, engine.LoadOffer(ring, i, size, group))
+			ringOf = append(ringOf, ring)
+		}
+	}
+	return offers, ringOf
+}
+
+// Report is an open-loop run's full result: the engine's service-level
+// throughput (with latency percentiles and, under AdaptiveDelta, the Δ
+// trajectory) plus the generator's own accounting.
+type Report struct {
+	metrics.Throughput
+	// Load is the generator's intake accounting.
+	Load Stats `json:"load"`
+	// Profile names the arrival process that shaped the load.
+	Profile string `json:"profile"`
+	// OfferedRate is the configured average offered load, offers/sec.
+	OfferedRate float64 `json:"offered_rate_per_sec"`
+}
+
+// Drive streams one open-loop load through an already-started engine and
+// finishes it: Run, Stop (drain), conservation check, combined report.
+// This is the shared tail behind RunOpenLoad and swapd's -arrival-rate
+// mode, so the benchmark harness and the CLI can never diverge on the
+// drain/verify/report contract.
+func Drive(ctx context.Context, e *engine.Engine, lcfg Config) (Report, error) {
+	lcfg = lcfg.withDefaults()
+	stats, err := Run(ctx, e, lcfg)
+	if err != nil {
+		e.Stop(ctx)
+		return Report{}, fmt.Errorf("loadgen: open-loop run: %w", err)
+	}
+	if err := e.Stop(ctx); err != nil {
+		return Report{}, fmt.Errorf("loadgen: drain: %w", err)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Throughput:  e.Report(),
+		Load:        stats,
+		Profile:     lcfg.Process.Name(),
+		OfferedRate: lcfg.Rate,
+	}
+	if rep.SwapsFailed > 0 {
+		return rep, fmt.Errorf("loadgen: %d swaps failed outright", rep.SwapsFailed)
+	}
+	return rep, nil
+}
+
+// RunOpenLoad is the open-loop counterpart of engine.RunLoad: it creates
+// a fresh engine, streams one open-loop load through it via Drive, and
+// returns the combined report. This is the harness swapbench's rate
+// sweep, the open-loop benchmarks, and the examples drive.
+func RunOpenLoad(ecfg engine.Config, lcfg Config) (Report, error) {
+	e := engine.New(ecfg)
+	if err := e.Start(); err != nil {
+		return Report{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	return Drive(ctx, e, lcfg)
+}

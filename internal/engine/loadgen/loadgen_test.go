@@ -1,0 +1,267 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/sim"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+func vtimeConfig(workers int) engine.Config {
+	return engine.Config{
+		Workers:       workers,
+		ClearInterval: time.Millisecond,
+		Tick:          time.Millisecond,
+		Delta:         20,
+		Seed:          42,
+		Virtual:       true,
+	}
+}
+
+// TestScheduleDeterministic pins the reproducibility contract: a schedule
+// is a pure function of (process, n, rate, tick, seed).
+func TestScheduleDeterministic(t *testing.T) {
+	procs := []Process{Constant{}, Poisson{}, Burst{Size: 4}, Ramp{}}
+	for _, p := range procs {
+		a := Schedule(p, 200, 1000, time.Millisecond, 7)
+		b := Schedule(p, 200, 1000, time.Millisecond, 7)
+		if len(a) != 200 || len(b) != 200 {
+			t.Fatalf("%s: bad lengths %d/%d", p.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at %d: %v vs %v", p.Name(), i, a[i], b[i])
+			}
+			if i > 0 && a[i] < a[i-1] {
+				t.Fatalf("%s: schedule not monotonic at %d", p.Name(), i)
+			}
+		}
+	}
+	// A randomized process must actually use its seed.
+	a := Schedule(Poisson{}, 200, 1000, time.Millisecond, 7)
+	c := Schedule(Poisson{}, 200, 1000, time.Millisecond, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("poisson: different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleDeterministicOnSim replays the same schedule on two
+// deterministic sim.Schedulers: the fire order and fire ticks must match
+// event for event.
+func TestScheduleDeterministicOnSim(t *testing.T) {
+	replay := func(seed int64) []vtime.Ticks {
+		s := sim.New(seed)
+		var fired []vtime.Ticks
+		for _, at := range Schedule(Poisson{}, 150, 500, time.Millisecond, seed) {
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		return fired
+	}
+	a, b := replay(3), replay(3)
+	if len(a) != 150 || len(b) != 150 {
+		t.Fatalf("fired %d/%d events, want 150", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed fired event %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestProfileShapes checks each process produces its characteristic
+// arrival pattern.
+func TestProfileShapes(t *testing.T) {
+	const n, rate = 400, 1000.0
+	tick := time.Millisecond // mean gap = 1 tick
+
+	// Constant: arrivals exactly one tick apart.
+	c := Schedule(Constant{}, n, rate, tick, 1)
+	for i := 1; i < n; i++ {
+		if c[i]-c[i-1] != 1 {
+			t.Fatalf("constant: gap %v at %d, want 1", c[i]-c[i-1], i)
+		}
+	}
+
+	// Burst: arrivals cluster — far fewer distinct ticks than arrivals —
+	// while the average rate holds (span ≈ n ticks).
+	bu := Schedule(Burst{Size: 8}, n, rate, tick, 1)
+	distinct := 1
+	for i := 1; i < n; i++ {
+		if bu[i] != bu[i-1] {
+			distinct++
+		}
+	}
+	if distinct > n/4 {
+		t.Errorf("burst: %d distinct ticks for %d arrivals — not clustering", distinct, n)
+	}
+	if span := bu[n-1] - bu[0]; span < vtime.Ticks(n/2) || span > vtime.Ticks(2*n) {
+		t.Errorf("burst: span %v ticks for %d arrivals at 1/tick — average rate not preserved", span, n)
+	}
+
+	// Ramp 0.2→2.0: the first quarter must be sparser than the last, and
+	// the normalization must hold the configured average rate — total
+	// span ≈ n ticks at one offer/tick (the unnormalized harmonic-mean
+	// schedule would span ~28% longer).
+	ra := Schedule(Ramp{}, n, rate, tick, 1)
+	firstQuarter := ra[n/4] - ra[0]
+	lastQuarter := ra[n-1] - ra[3*n/4]
+	if firstQuarter <= lastQuarter {
+		t.Errorf("ramp: first-quarter span %v not sparser than last-quarter %v", firstQuarter, lastQuarter)
+	}
+	if span := float64(ra[n-1] - ra[0]); span < 0.95*n || span > 1.05*n {
+		t.Errorf("ramp: span %.0f ticks for %d arrivals at 1/tick — average rate not preserved", span, n)
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	good := map[string]string{
+		"constant":   "constant",
+		"poisson":    "poisson",
+		"burst":      "burst:8",
+		"burst:16":   "burst:16",
+		"ramp":       "ramp:0.2:2",
+		"ramp:0.5:4": "ramp:0.5:4",
+	}
+	for in, want := range good {
+		p, err := ParseProfile(in)
+		if err != nil {
+			t.Errorf("ParseProfile(%q): %v", in, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("ParseProfile(%q).Name() = %q, want %q", in, p.Name(), want)
+		}
+	}
+	for _, in := range []string{
+		"uniform", "burst:0", "burst:x", "burst:4:5", "ramp:1", "ramp:0:2",
+		"poisson:42", "constant:1",
+	} {
+		if _, err := ParseProfile(in); err == nil {
+			t.Errorf("ParseProfile(%q): want error", in)
+		}
+	}
+}
+
+// TestOpenLoadVirtualTime is the end-to-end open-loop acceptance: a
+// Poisson stream under virtual time clears completely, and the latency
+// percentiles are non-zero even though every settle is sub-millisecond —
+// the truncation bug this PR fixes would have zeroed them.
+func TestOpenLoadVirtualTime(t *testing.T) {
+	rep, err := RunOpenLoad(vtimeConfig(8), Config{
+		Offers:    36,
+		Rate:      4000,
+		Process:   Poisson{},
+		PartyPool: 4,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.Submitted != rep.Load.Offered || rep.Load.Shed != 0 || rep.Load.Refused != 0 {
+		t.Fatalf("load stats: %+v", rep.Load)
+	}
+	if rep.SwapsFinished != 12 || rep.SwapsFailed != 0 {
+		t.Fatalf("report: finished %d failed %d, want 12/0", rep.SwapsFinished, rep.SwapsFailed)
+	}
+	if rep.OffersCleared != rep.Load.Submitted {
+		t.Fatalf("cleared %d of %d submitted", rep.OffersCleared, rep.Load.Submitted)
+	}
+	if rep.P50LatencyMs <= 0 || rep.P95LatencyMs <= 0 || rep.P99LatencyMs <= 0 {
+		t.Fatalf("zeroed percentiles: p50=%v p95=%v p99=%v",
+			rep.P50LatencyMs, rep.P95LatencyMs, rep.P99LatencyMs)
+	}
+	if rep.AvgLatencyMs <= 0 || rep.MaxLatencyMs < rep.P99LatencyMs {
+		t.Fatalf("latency summary inconsistent: avg=%v max=%v p99=%v",
+			rep.AvgLatencyMs, rep.MaxLatencyMs, rep.P99LatencyMs)
+	}
+	if rep.Profile != "poisson" || rep.OfferedRate != 4000 {
+		t.Fatalf("report labels: %q %v", rep.Profile, rep.OfferedRate)
+	}
+}
+
+// TestOpenLoadRealScheduler smokes the wall-clock path: a small constant
+// stream on the real scheduler clears with sane accounting.
+func TestOpenLoadRealScheduler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock load")
+	}
+	ecfg := engine.Config{
+		Workers:       4,
+		ClearInterval: time.Millisecond,
+		Tick:          time.Millisecond,
+		Delta:         15,
+		Seed:          42,
+	}
+	rep, err := RunOpenLoad(ecfg, Config{Offers: 9, Rate: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SwapsFinished != 3 || rep.SwapsFailed != 0 {
+		t.Fatalf("report: %+v", rep.Throughput)
+	}
+	if rep.Load.Submitted != 9 {
+		t.Fatalf("load stats: %+v", rep.Load)
+	}
+}
+
+// TestOpenLoadShedsInsteadOfGrowing pins the bounded-intake backstop: a
+// flood far beyond the shed threshold must shed (not book) the excess,
+// and the engine still drains clean.
+func TestOpenLoadShedsInsteadOfGrowing(t *testing.T) {
+	rep, err := RunOpenLoad(vtimeConfig(1), Config{
+		Offers:     60,
+		Rate:       1e6, // effectively simultaneous arrivals
+		MaxPending: 4,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Load
+	if st.Shed == 0 {
+		t.Fatalf("no shedding under flood: %+v", st)
+	}
+	if st.Submitted+st.Shed+st.Refused != st.Offered {
+		t.Fatalf("intake accounting leaks: %+v", st)
+	}
+	if st.Submitted == 0 {
+		t.Fatalf("everything shed: %+v", st)
+	}
+	if rep.InFlight != 0 || rep.SwapsFailed != 0 {
+		t.Fatalf("engine did not drain clean: %+v", rep.Throughput)
+	}
+}
+
+// TestRunContextCancel checks a cancelled load stops scheduling and
+// reports the partial stats instead of hanging.
+func TestRunContextCancel(t *testing.T) {
+	e := engine.New(engine.Config{
+		Workers: 2, ClearInterval: time.Millisecond,
+		Tick: time.Millisecond, Delta: 15, Seed: 1,
+	})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, e, Config{Offers: 3000, Rate: 10, Seed: 1}) // 5-minute schedule
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	drainCtx, done := context.WithTimeout(context.Background(), 30*time.Second)
+	defer done()
+	if err := e.Stop(drainCtx); err != nil {
+		t.Fatalf("Stop after cancel: %v", err)
+	}
+}

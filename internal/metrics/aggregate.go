@@ -32,8 +32,16 @@ type Aggregate struct {
 	latencyCount int
 	latencySum   time.Duration
 	latencyMax   time.Duration
+	latencyHist  Histogram
 
 	reservationConflicts int
+
+	// Adaptive-Δ telemetry: one point per controller decision, thinned to
+	// every deltaStride-th decision so a long run's trajectory stays
+	// bounded without losing its shape.
+	deltaTraj   []DeltaPoint
+	deltaSeen   int
+	deltaStride int
 }
 
 // NewAggregate starts an aggregate; elapsed time (and therefore the /sec
@@ -106,27 +114,88 @@ func (a *Aggregate) AddOutcome(class string, latency time.Duration) {
 	a.outcomes[class]++
 	a.latencyCount++
 	a.latencySum += latency
+	a.latencyHist.Record(latency)
 	if latency > a.latencyMax {
 		a.latencyMax = latency
+	}
+}
+
+// DeltaPoint is one adaptive-Δ controller decision: the Δ chosen for the
+// next clearing rounds and the probe window it was computed from.
+type DeltaPoint struct {
+	// ElapsedSec is when the decision was taken, relative to the
+	// aggregate's start.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// Round is the clearing round the decision belongs to.
+	Round int `json:"round"`
+	// DeltaTicks is the Δ handed to swaps cleared from here on.
+	DeltaTicks int `json:"delta_ticks"`
+	// WindowEWMA and WindowMaxTicks summarize the consumed probe window.
+	WindowEWMA     float64 `json:"ewma_ticks"`
+	WindowMaxTicks int     `json:"window_max_ticks"`
+	// WindowSamples is how many delivery observations backed the decision.
+	WindowSamples int `json:"window_samples"`
+}
+
+// deltaTrajCap bounds the retained trajectory; when full, the series is
+// thinned 2:1 and the stride doubles, so memory stays O(cap) while the
+// recorded points still span the whole run.
+const deltaTrajCap = 1024
+
+// AddDeltaPoint records one adaptive-Δ controller decision. The elapsed
+// timestamp is filled in here so callers only report protocol-level
+// fields.
+func (a *Aggregate) AddDeltaPoint(p DeltaPoint) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.deltaStride == 0 {
+		a.deltaStride = 1
+	}
+	a.deltaSeen++
+	if (a.deltaSeen-1)%a.deltaStride != 0 {
+		return
+	}
+	p.ElapsedSec = time.Since(a.startedAt).Seconds()
+	a.deltaTraj = append(a.deltaTraj, p)
+	if len(a.deltaTraj) >= deltaTrajCap {
+		kept := a.deltaTraj[:0]
+		for i := 0; i < len(a.deltaTraj); i += 2 {
+			kept = append(kept, a.deltaTraj[i])
+		}
+		a.deltaTraj = kept
+		a.deltaStride *= 2
 	}
 }
 
 // Throughput is a point-in-time summary of an Aggregate, JSON-ready for
 // the benchmark trajectory.
 type Throughput struct {
-	ElapsedSec      float64        `json:"elapsed_sec"`
-	OffersSubmitted int            `json:"offers_submitted"`
-	OffersCleared   int            `json:"offers_cleared"`
-	OffersRejected  int            `json:"offers_rejected"`
-	SwapsStarted    int            `json:"swaps_started"`
-	SwapsFinished   int            `json:"swaps_finished"`
-	SwapsFailed     int            `json:"swaps_failed"`
-	InFlight        int            `json:"in_flight"`
-	PeakConcurrent  int            `json:"peak_concurrent"`
-	OffersPerSec    float64        `json:"offers_per_sec"`
-	SwapsPerSec     float64        `json:"swaps_per_sec"`
-	AvgLatencyMs    float64        `json:"avg_latency_ms"`
-	MaxLatencyMs    float64        `json:"max_latency_ms"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	OffersSubmitted int     `json:"offers_submitted"`
+	OffersCleared   int     `json:"offers_cleared"`
+	OffersRejected  int     `json:"offers_rejected"`
+	SwapsStarted    int     `json:"swaps_started"`
+	SwapsFinished   int     `json:"swaps_finished"`
+	SwapsFailed     int     `json:"swaps_failed"`
+	InFlight        int     `json:"in_flight"`
+	PeakConcurrent  int     `json:"peak_concurrent"`
+	// OffersSubmittedPerSec is intake rate; OffersClearedPerSec is the
+	// rate at which offers were matched into swaps. They differ whenever
+	// offers are rejected or still pending — reporting both is what makes
+	// an overload (intake outrunning clearing) visible.
+	OffersSubmittedPerSec float64 `json:"offers_submitted_per_sec"`
+	OffersClearedPerSec   float64 `json:"offers_cleared_per_sec"`
+	SwapsPerSec           float64 `json:"swaps_per_sec"`
+	// Latency fields are float milliseconds: sub-millisecond settles
+	// (routine under virtual time) must not truncate to zero.
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	P50LatencyMs float64 `json:"p50_latency_ms"`
+	P95LatencyMs float64 `json:"p95_latency_ms"`
+	P99LatencyMs float64 `json:"p99_latency_ms"`
+	MaxLatencyMs float64 `json:"max_latency_ms"`
+	// DeltaTrajectory is the adaptive-Δ controller's decision series
+	// (empty unless the engine runs with AdaptiveDelta).
+	DeltaTrajectory []DeltaPoint   `json:"delta_trajectory,omitempty"`
 	Outcomes        map[string]int `json:"outcomes"`
 	ResvConflicts   int            `json:"reservation_conflicts"`
 }
@@ -153,12 +222,21 @@ func (a *Aggregate) Snapshot() Throughput {
 		t.Outcomes[k] = v
 	}
 	if elapsed > 0 {
-		t.OffersPerSec = float64(a.offersCleared) / elapsed
+		t.OffersSubmittedPerSec = float64(a.offersSubmitted) / elapsed
+		t.OffersClearedPerSec = float64(a.offersCleared) / elapsed
 		t.SwapsPerSec = float64(a.swapsFinished) / elapsed
 	}
 	if a.latencyCount > 0 {
-		t.AvgLatencyMs = float64(a.latencySum.Milliseconds()) / float64(a.latencyCount)
-		t.MaxLatencyMs = float64(a.latencyMax.Milliseconds())
+		// Float milliseconds, not Duration.Milliseconds(): integer
+		// truncation reported sub-millisecond latencies as 0.0ms.
+		t.AvgLatencyMs = a.latencySum.Seconds() * 1000 / float64(a.latencyCount)
+		t.MaxLatencyMs = a.latencyMax.Seconds() * 1000
+		t.P50LatencyMs = a.latencyHist.Quantile(0.50).Seconds() * 1000
+		t.P95LatencyMs = a.latencyHist.Quantile(0.95).Seconds() * 1000
+		t.P99LatencyMs = a.latencyHist.Quantile(0.99).Seconds() * 1000
+	}
+	if len(a.deltaTraj) > 0 {
+		t.DeltaTrajectory = append([]DeltaPoint(nil), a.deltaTraj...)
 	}
 	return t
 }
@@ -176,9 +254,15 @@ func (t Throughput) String() string {
 		t.OffersSubmitted, t.OffersCleared, t.OffersRejected)
 	fmt.Fprintf(&b, "swaps:  %d finished (%d failed), peak %d concurrent\n",
 		t.SwapsFinished, t.SwapsFailed, t.PeakConcurrent)
-	fmt.Fprintf(&b, "rate:   %.1f offers/sec, %.1f swaps/sec over %.2fs\n",
-		t.OffersPerSec, t.SwapsPerSec, t.ElapsedSec)
-	fmt.Fprintf(&b, "latency: avg %.1fms, max %.1fms\n", t.AvgLatencyMs, t.MaxLatencyMs)
+	fmt.Fprintf(&b, "rate:   %.1f offers/sec submitted, %.1f offers/sec cleared, %.1f swaps/sec over %.2fs\n",
+		t.OffersSubmittedPerSec, t.OffersClearedPerSec, t.SwapsPerSec, t.ElapsedSec)
+	fmt.Fprintf(&b, "latency: avg %.2fms, p50 %.2fms, p95 %.2fms, p99 %.2fms, max %.2fms\n",
+		t.AvgLatencyMs, t.P50LatencyMs, t.P95LatencyMs, t.P99LatencyMs, t.MaxLatencyMs)
+	if n := len(t.DeltaTrajectory); n > 0 {
+		last := t.DeltaTrajectory[n-1]
+		fmt.Fprintf(&b, "delta:  %d adaptations recorded, final Δ=%d ticks (window ewma %.2f, max %d, %d samples)\n",
+			n, last.DeltaTicks, last.WindowEWMA, last.WindowMaxTicks, last.WindowSamples)
+	}
 	keys := make([]string, 0, len(t.Outcomes))
 	for k := range t.Outcomes {
 		keys = append(keys, k)
