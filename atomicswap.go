@@ -35,6 +35,7 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
+	"github.com/go-atomicswap/atomicswap/internal/engine/scenario"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/metrics"
@@ -331,6 +332,36 @@ func RunOpenLoad(ecfg EngineConfig, lcfg OpenLoadConfig) (OpenLoadReport, error)
 // ParseArrivalProfile resolves "constant", "poisson", "burst[:n]", or
 // "ramp[:from:to]" to an ArrivalProcess.
 func ParseArrivalProfile(s string) (ArrivalProcess, error) { return loadgen.ParseProfile(s) }
+
+// Deterministic scenario harness: seed-replayable adversarial
+// experiments. A Scenario composes an open-loop arrival profile with
+// per-party deviation strategies injected at configurable rates, runs
+// on the engine's deterministic scheduler mode, checks the paper's
+// safety invariant (no conforming party ends Underwater; ledgers
+// conserve), and returns a canonical digest that is byte-identical
+// across replays of the same seed.
+type (
+	// Scenario is one seed-replayable adversarial experiment.
+	Scenario = scenario.Scenario
+	// ScenarioDeviation injects one named strategy at a per-party rate.
+	ScenarioDeviation = scenario.Deviation
+	// ScenarioResult is a finished run: digest, report, violations.
+	ScenarioResult = scenario.Result
+	// ScenarioDigest is the canonical replay-stable run summary.
+	ScenarioDigest = scenario.Digest
+	// ScenarioViolation is one failed safety check.
+	ScenarioViolation = scenario.Violation
+)
+
+// RunScenario executes one scenario deterministically.
+func RunScenario(sc Scenario) (*ScenarioResult, error) { return scenario.Run(sc) }
+
+// ScenarioSuite returns the built-in scenario corpus, seeds shifted by
+// the offset.
+func ScenarioSuite(seedOffset int64) []Scenario { return scenario.Suite(seedOffset) }
+
+// ScenarioStrategies lists the deviation taxonomy's strategy names.
+func ScenarioStrategies() []string { return scenario.Strategies() }
 
 // ClearBatch partitions a batch of offers into disjoint swap setups plus
 // the residual offers that cannot clear yet — the multi-swap

@@ -9,6 +9,13 @@
 //	swapbench -engine-json -arrival-rate 4000 [-profile poisson] [-vtime]
 //	swapbench -openloop-json
 //	swapbench -bench-json
+//	swapbench -scenario all [-scenario-seed N]
+//
+// With -scenario it runs seed-replayable adversarial scenarios (open-
+// loop load with injected deviation strategies on the deterministic
+// engine) and emits one replay-stable digest JSON line per scenario:
+// the same invocation always prints the same bytes, so CI can diff two
+// runs to prove determinism. See internal/engine/scenario.
 //
 // With -engine-json it instead sweeps the clearing engine at 1, 8, and 64
 // concurrent swaps and emits one JSON object per line (the BENCH
@@ -41,6 +48,7 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
+	"github.com/go-atomicswap/atomicswap/internal/engine/scenario"
 	"github.com/go-atomicswap/atomicswap/internal/expt"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
@@ -240,6 +248,39 @@ func openLoopTrajectory() error {
 	return nil
 }
 
+// runScenarios executes one named scenario (or the whole built-in
+// suite) deterministically and prints one replay-stable JSON line per
+// run: the canonical digest plus its sha256 fingerprint. Two
+// invocations with the same arguments must emit byte-identical output —
+// the CI replay job diffs exactly that. A safety violation fails the
+// command.
+func runScenarios(name string, seedOffset int64) error {
+	var scs []scenario.Scenario
+	if name == "all" {
+		scs = scenario.Suite(seedOffset)
+	} else {
+		sc, err := scenario.ByName(name, seedOffset)
+		if err != nil {
+			return err
+		}
+		scs = []scenario.Scenario{sc}
+	}
+	violations := 0
+	for _, sc := range scs {
+		res, err := scenario.Run(sc)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		fmt.Printf("{\"bench\":\"scenario\",\"hash\":%q,\"digest\":%s}\n",
+			res.Digest.Hash(), res.Digest.JSON())
+		violations += len(res.Violations)
+	}
+	if violations > 0 {
+		return fmt.Errorf("scenarios reported %d safety violations", violations)
+	}
+	return nil
+}
+
 // timeOp reports the mean ns/op of fn over enough iterations to fill
 // roughly 200ms, with a floor of 10 iterations.
 func timeOp(fn func()) float64 {
@@ -333,7 +374,17 @@ func main() {
 	adaptiveFlag := flag.Bool("adaptive-delta", false, "enable the observed-latency adaptive-Δ controller in the -engine-json sweep")
 	arrivalRate := flag.Float64("arrival-rate", 0, "open-loop intake: average offered load in offers/sec (0 = closed-loop, book pre-loaded)")
 	profileFlag := flag.String("profile", "poisson", "arrival process for -arrival-rate: constant, poisson, burst[:n], ramp[:from:to]")
+	scenarioFlag := flag.String("scenario", "", "run a deterministic adversarial scenario by name ('all' = built-in suite) and emit replay-stable digest JSON")
+	scenarioSeed := flag.Int64("scenario-seed", 0, "seed offset applied to every -scenario run (same offset ⇒ byte-identical output)")
 	flag.Parse()
+
+	if *scenarioFlag != "" {
+		if err := runScenarios(*scenarioFlag, *scenarioSeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *arrivalRate > 0 && (*fullBenchJSON || *openLoopJSON) {
 		fmt.Fprintln(os.Stderr, "-arrival-rate configures the -engine-json sweep; -bench-json and -openloop-json fix their own loads")

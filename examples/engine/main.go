@@ -17,6 +17,12 @@
 // ramping arrival process instead of an up-front book, reporting
 // submit-to-settle latency percentiles as offered load climbs through
 // the engine's capacity.
+//
+// The third act is the deterministic scenario harness: the same open-
+// loop stream with deviating parties injected — silent leaders, crash
+// faults, stalled unlocks — run twice from one seed. The two runs must
+// produce byte-identical digests (Herlihy's safety invariant checked in
+// both): every adversarial experiment the engine runs is replayable.
 package main
 
 import (
@@ -139,4 +145,53 @@ func main() {
 	}
 	fmt.Printf("\nOK: open-loop ramp cleared %d offers into %d swaps at non-zero tail latency\n",
 		open.OffersCleared, open.SwapsFinished)
+
+	// Act three: a seed-replayable adversarial swarm. A quarter of the
+	// parties deviate — refusing to unlock, crashing mid-protocol,
+	// stalling past their timelocks, never deploying — while offers
+	// stream in open-loop. Run it twice: the digests must match byte for
+	// byte, and in both runs no conforming party may end Underwater.
+	fmt.Println("\n--- deterministic adversarial scenario: run twice, diff the digests ---")
+	sc := atomicswap.Scenario{
+		Name:    "example-swarm",
+		Seed:    2020,
+		Offers:  60,
+		Rate:    3000,
+		Profile: "poisson",
+		Deviations: []atomicswap.ScenarioDeviation{
+			{Strategy: "silent-leader", Rate: 0.10},
+			{Strategy: "crash", Rate: 0.08},
+			{Strategy: "stall-past-timelock", Rate: 0.07},
+			{Strategy: "withhold-publish", Rate: 0.05},
+		},
+	}
+	first, err := atomicswap.RunScenario(sc)
+	if err != nil {
+		log.Fatalf("scenario: %v", err)
+	}
+	second, err := atomicswap.RunScenario(sc)
+	if err != nil {
+		log.Fatalf("scenario replay: %v", err)
+	}
+	d := first.Digest
+	fmt.Printf("intake: %d offered over ticks [%d, %d] (%s)\n",
+		d.Offered, d.FirstTick, d.LastTick, d.Profile)
+	fmt.Printf("swaps:  %d finished, outcomes %v\n", d.SwapsFinished, d.Outcomes)
+	fmt.Printf("deviations injected: %v (%d orders sabotaged)\n", d.Deviations, d.OrdersSabotaged)
+	fmt.Printf("digest: %s\n", d.Hash())
+	if len(first.Violations) != 0 {
+		log.Fatalf("FAIL: safety violations: %+v", first.Violations)
+	}
+	if d.Safety != "ok" || d.Conservation != "ok" {
+		log.Fatalf("FAIL: safety=%q conservation=%q", d.Safety, d.Conservation)
+	}
+	if first.Digest.JSON() != second.Digest.JSON() {
+		log.Fatalf("FAIL: replay diverged:\n%s\nvs\n%s",
+			first.Digest.JSON(), second.Digest.JSON())
+	}
+	if len(d.Deviations) < 3 {
+		log.Fatalf("FAIL: only %d deviation strategies landed: %v", len(d.Deviations), d.Deviations)
+	}
+	fmt.Printf("\nOK: adversarial swarm replayed byte-identically; "+
+		"every conforming party acceptable across %d orders\n", len(d.Orders))
 }

@@ -78,6 +78,14 @@ type Config struct {
 	// shared cache, which is the desired behavior for engine-owned
 	// setups (one per cleared swap).
 	Cache *hashkey.VerifyCache
+	// SyncDeliveries makes every delivery synchronous with the scheduler:
+	// the scheduled callback blocks until the party has actually executed
+	// the delivered event. On a serialized virtual scheduler
+	// (sched.NewVirtual) this removes the last concurrency from the run —
+	// party actions execute one at a time, in (tick, schedule-order)
+	// order — which is what makes an engine run seed-replayable. Pointless
+	// (and a throughput hazard) on real or concurrent-virtual schedulers.
+	SyncDeliveries bool
 }
 
 // Result reports a finished concurrent run.
@@ -86,11 +94,48 @@ type Result struct {
 	Report    *outcome.Report
 	Registry  *chain.Registry
 	Log       *trace.Log
+	// SettleTick is the virtual tick at which the last arc resolved
+	// (claim or refund recorded on chain). For runs where some arc never
+	// resolved — a crashed party abandoning its own contract — it is the
+	// run's horizon tick instead, the point at which the outcome became
+	// final. Unlike wall-clock latencies, it is identical across replays
+	// of a deterministic run.
+	SettleTick vtime.Ticks
+}
+
+// Running is a prepared, in-flight concurrent run: the assets are
+// verified, every party goroutine is live, and the protocol is playing
+// out on the scheduler. Call Wait exactly once to block until the run
+// finishes and collect the result. The Prepare/Wait split exists for the
+// clearing engine's deterministic mode, where run setup must happen at a
+// pinned virtual tick (inside the clearing callback, under the
+// scheduler hold) while the blocking wait stays on an executor worker.
+type Running struct {
+	r         *runner
+	cfg       Config
+	cancel    context.CancelFunc
+	partyWG   *sync.WaitGroup
+	horizonCh chan struct{}
+	subKey    string
+	shared    bool
 }
 
 // Run executes the setup with every party on its own goroutine. Behaviors
 // defaults to the conforming implementation per vertex; entries override.
 func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Config) (*Result, error) {
+	rn, err := Prepare(setup, behaviors, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return rn.Wait(), nil
+}
+
+// Prepare sets a concurrent run up — registers or verifies assets,
+// spawns the party goroutines, schedules the protocol start — and
+// returns without waiting for it. Setup runs atomically under a
+// scheduler hold, so under virtual time the protocol start is pinned
+// relative to the scheduler's tick at the moment Prepare was called.
+func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Config) (*Running, error) {
 	if cfg.ExtraDelta <= 0 {
 		cfg.ExtraDelta = 2
 	}
@@ -107,6 +152,7 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 		setup:    setup,
 		spec:     spec,
 		sched:    scheduler,
+		sync:     cfg.SyncDeliveries,
 		log:      &trace.Log{},
 		timers:   make(map[int64]sched.Timer),
 		resolved: make(map[int]bool),
@@ -159,15 +205,15 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 	}
 
 	horizon := spec.Horizon().Add(vtime.Scale(cfg.ExtraDelta, spec.Delta))
+	r.horizonTick = horizon
 	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	r.ctx = ctx
 
 	// One mailbox goroutine per party; all behavior callbacks and alarms
 	// run there, so behaviors stay single-threaded.
 	n := spec.D.NumVertices()
 	r.parties = make([]*party, n)
-	var wg sync.WaitGroup
+	wg := new(sync.WaitGroup)
 	for v := 0; v < n; v++ {
 		b := behaviors[digraph.Vertex(v)]
 		if b == nil {
@@ -193,7 +239,6 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 	subKey := fmt.Sprintf("conc-run-%d", atomic.AddUint64(&runSeq, 1))
 	if shared {
 		r.reg.SubscribeAll(subKey, r.onNote)
-		defer r.reg.UnsubscribeAll(subKey)
 	} else {
 		r.reg.SetObserverAll(r.onNote)
 	}
@@ -208,19 +253,37 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 	r.schedule(horizon, func() { close(horizonCh) })
 	release()
 
+	return &Running{
+		r:         r,
+		cfg:       cfg,
+		cancel:    cancel,
+		partyWG:   wg,
+		horizonCh: horizonCh,
+		subKey:    subKey,
+		shared:    shared,
+	}, nil
+}
+
+// Wait blocks until the prepared run finishes, tears it down, and
+// returns the result. Call it exactly once.
+func (rn *Running) Wait() *Result {
+	r := rn.r
 	// Let the protocol play out to the horizon — or, with EarlyExit, only
 	// until every arc settles. A settled arc is final, so nothing after
 	// the last transfer can change an outcome: the full-Δ grace sleep the
 	// runtime used to pay here bought only trailing OnSettled trace
 	// events, which EarlyExit documents as trimmable. The horizon timer
-	// is simply never waited on once all arcs resolve.
-	if cfg.EarlyExit {
+	// is simply never waited on once all arcs resolve. (Deterministic
+	// callers should leave EarlyExit off: cancelling not-yet-fired
+	// trailing deliveries races wall time against the virtual clock,
+	// which perturbs the delivery-probe sample stream across replays.)
+	if rn.cfg.EarlyExit {
 		select {
-		case <-horizonCh:
+		case <-rn.horizonCh:
 		case <-r.done:
 		}
 	} else {
-		<-horizonCh
+		<-rn.horizonCh
 	}
 	// Teardown order matters, especially on a shared virtual scheduler:
 	// (1) stop timers so no new callbacks start, (2) wait out callbacks
@@ -230,8 +293,8 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 	// be released or a shared virtual clock would stall forever.
 	r.stopTimers()
 	r.fnWG.Wait()
-	cancel()
-	wg.Wait()
+	rn.cancel()
+	rn.partyWG.Wait()
 	for _, p := range r.parties {
 	drain:
 		for {
@@ -243,8 +306,11 @@ func Run(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg Conf
 			}
 		}
 	}
+	if rn.shared {
+		r.reg.UnsubscribeAll(rn.subKey)
+	}
 
-	return r.buildResult(), nil
+	return r.buildResult()
 }
 
 // runSeq issues unique subscription keys for runs over shared registries.
@@ -258,6 +324,12 @@ type runner struct {
 	probe chain.DeliveryProbe
 	log   *trace.Log
 	ctx   context.Context
+	// sync makes deliveries block the scheduler callback until the party
+	// executed them (Config.SyncDeliveries).
+	sync bool
+	// horizonTick is the run's scheduled end, for Result.SettleTick when
+	// some arc never resolves.
+	horizonTick vtime.Ticks
 
 	// cids maps this swap's contract IDs to arc IDs — the filter that
 	// keeps a run deaf to other swaps sharing the same chains.
@@ -279,8 +351,10 @@ type runner struct {
 	mu       sync.Mutex
 	resolved map[int]bool
 	resClaim map[int]bool
-	done     chan struct{}
-	doneSent bool
+	// lastResolve is the tick of the most recent arc resolution.
+	lastResolve vtime.Ticks
+	done        chan struct{}
+	doneSent    bool
 }
 
 // schedule arms fn at virtual tick t, tracked for teardown cancellation.
@@ -335,8 +409,22 @@ func (r *runner) stopTimers() {
 func (r *runner) deliverAt(t vtime.Ticks, p *party, alarm bool, fn func()) {
 	r.schedule(t, func() {
 		settle := r.sched.Hold()
+		// Under SyncDeliveries the scheduler callback additionally waits
+		// for the party to execute the delivery: on a serialized virtual
+		// scheduler this means exactly one party action runs at a time,
+		// in (tick, schedule-order) order — the property deterministic
+		// replay rests on. The party goroutine never blocks on the
+		// scheduler, so the wait cannot deadlock; teardown closes done
+		// via the mailbox drain if the party already exited.
+		var done chan struct{}
+		if r.sync {
+			done = make(chan struct{})
+		}
 		wrapped := func() {
 			defer settle()
+			if done != nil {
+				defer close(done)
+			}
 			if r.ctx.Err() != nil {
 				return // teardown drain: settle without executing
 			}
@@ -354,6 +442,14 @@ func (r *runner) deliverAt(t vtime.Ticks, p *party, alarm bool, fn func()) {
 		}
 		select {
 		case p.mailbox <- wrapped:
+			if done != nil {
+				select {
+				case <-done:
+				case <-r.ctx.Done():
+					// The party may have exited without draining; the
+					// teardown drain will run wrapped and settle the hold.
+				}
+			}
 		case <-r.ctx.Done():
 			settle()
 		}
@@ -365,6 +461,9 @@ func (r *runner) setResolved(arcID int, claimed bool) {
 	defer r.mu.Unlock()
 	r.resolved[arcID] = true
 	r.resClaim[arcID] = claimed
+	if now := r.sched.Now(); now > r.lastResolve {
+		r.lastResolve = now
+	}
 	if !r.doneSent && len(r.resolved) == r.spec.D.NumArcs() {
 		r.doneSent = true
 		close(r.done)
@@ -473,11 +572,19 @@ func (r *runner) buildResult() *Result {
 			triggered[id] = true
 		}
 	}
+	r.mu.Lock()
+	settleTick := r.lastResolve
+	allResolved := len(r.resolved) == spec.D.NumArcs()
+	r.mu.Unlock()
+	if !allResolved {
+		settleTick = r.horizonTick
+	}
 	return &Result{
-		Triggered: triggered,
-		Report:    outcome.NewReport(spec.D, triggered),
-		Registry:  r.reg,
-		Log:       r.log,
+		Triggered:  triggered,
+		Report:     outcome.NewReport(spec.D, triggered),
+		Registry:   r.reg,
+		Log:        r.log,
+		SettleTick: settleTick,
 	}
 }
 

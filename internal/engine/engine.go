@@ -41,8 +41,15 @@ import (
 type Config struct {
 	// Workers is the executor-pool size: how many swaps run concurrently.
 	Workers int
-	// ClearInterval is the period of the batch clearing loop.
+	// ClearInterval is the period of the batch clearing loop, in wall
+	// time. It is converted to scheduler ticks (see ClearEvery): the
+	// clearing loop runs on the engine's shared scheduler, not on a
+	// wall-clock ticker, so under virtual time clearing rounds land at
+	// deterministic ticks interleaved with arrivals and protocol events.
 	ClearInterval time.Duration
+	// ClearEvery, when positive, sets the clearing cadence directly in
+	// virtual ticks, overriding the ClearInterval/Tick conversion.
+	ClearEvery vtime.Duration
 	// MaxBatch caps the offers considered per clearing round.
 	MaxBatch int
 	// Tick is the wall duration of one virtual tick on the shared
@@ -55,8 +62,14 @@ type Config struct {
 	Kind core.Kind
 	// AdversaryRate injects a silent leader into this fraction of swaps:
 	// the swap aborts and every conforming party refunds, exercising the
-	// abort path under load.
+	// abort path under load. Ignored when Behaviors is set.
 	AdversaryRate float64
+	// Behaviors, when set, builds the (possibly deviating) behaviors for
+	// every cleared swap — the scenario harness's deviation-injection
+	// hook. It must be a pure function of its arguments (it may be called
+	// from any goroutine, and deterministic replay depends on it): derive
+	// randomness from the seed, never from shared state.
+	Behaviors BehaviorFactory
 	// Seed drives per-swap key generation and adversary selection.
 	Seed int64
 	// QueueDepth is the executor job-queue capacity (default 1024).
@@ -81,6 +94,17 @@ type Config struct {
 	// MaxDelta caps the adaptive Δ (default 4×Delta), bounding how far a
 	// loaded box backs off.
 	MaxDelta vtime.Duration
+	// Deterministic runs the engine in seed-replayable mode: virtual time
+	// on a serialized scheduler (same-tick events in schedule order, not
+	// in parallel), swap setup pinned inside the clearing tick, and
+	// synchronous deliveries, so the same seed and the same (serially
+	// submitted) offer stream produce the identical run — intake ticks,
+	// clearing rounds, Δ trajectory, and settle order. Implies Virtual.
+	// Trades multicore throughput for replayability: this is the scenario
+	// harness's mode, not the production shape. Submissions must come
+	// from scheduler callbacks (loadgen arrivals) or a single goroutine;
+	// racing Submit calls reintroduce the nondeterminism this removes.
+	Deterministic bool
 	// MaxClearAhead, when positive, stops clearing rounds from running
 	// more than this many swaps ahead of execution: a round dispatches no
 	// new swap while that many are queued or in flight. Backpressure
@@ -109,6 +133,18 @@ const (
 	stateStopped
 )
 
+// SwapBehaviors is one cleared swap's behavior assignment: overrides for
+// deviating parties (conforming defaults apply elsewhere) plus the
+// deviation name per deviating vertex, for per-outcome accounting.
+type SwapBehaviors struct {
+	Behaviors map[digraph.Vertex]core.Behavior
+	Deviants  map[digraph.Vertex]string
+}
+
+// BehaviorFactory builds the behaviors for one cleared swap from its
+// setup and deterministic per-swap seed. See Config.Behaviors.
+type BehaviorFactory func(setup *core.Setup, seed int64) SwapBehaviors
+
 // job is one cleared swap handed to the executor pool.
 type job struct {
 	swapID      string
@@ -117,6 +153,10 @@ type job struct {
 	resv        []resvKey
 	adversarial bool
 	seed        int64
+	// running is the already-prepared run (Deterministic mode: setup
+	// happened inside the clearing tick); nil means the worker prepares.
+	running  *conc.Running
+	deviants map[digraph.Vertex]string
 }
 
 type resvKey struct {
@@ -154,10 +194,20 @@ type Engine struct {
 	// swap's contracts (content-addressed, so cross-swap sharing is safe).
 	vcache *hashkey.VerifyCache
 
-	jobs      chan *job
-	stopClear chan struct{}
-	workerWG  sync.WaitGroup
-	clearWG   sync.WaitGroup
+	jobs     chan *job
+	workerWG sync.WaitGroup
+
+	// The clearing loop is a self-rescheduling timer on the shared
+	// scheduler: clearMu guards the live timer and the stop flag, clearWG
+	// tracks a tick callback in flight so Stop can wait it out. Rounds
+	// are strictly sequential (each tick schedules the next only when it
+	// finishes), so everything confined to "the clearing goroutine"
+	// remains confined to one callback at a time.
+	clearMu      sync.Mutex
+	clearTimer   sched.Timer
+	clearStopped bool
+	clearWG      sync.WaitGroup
+	clearEvery   vtime.Duration
 
 	mu        sync.Mutex
 	state     engineState
@@ -169,11 +219,13 @@ type Engine struct {
 	minted    []mintRec
 
 	// rng drives adversary selection. It is NOT safe for concurrent use
-	// and is confined to the clearing goroutine (clearLoop → clearRound →
-	// clearGroup): never touch it from Submit, workers, or any other
-	// goroutine. clearRounds is confined the same way.
+	// and is confined to the clearing tick (clearTick → clearRound →
+	// clearGroup, sequential by construction): never touch it from
+	// Submit, workers, or any other goroutine. clearRounds and
+	// drainStall are confined the same way.
 	rng         *rand.Rand
 	clearRounds int
+	drainStall  int
 }
 
 // New creates an engine with its own shared clock and chain registry.
@@ -196,8 +248,29 @@ func New(cfg Config) *Engine {
 	if cfg.Kind == 0 {
 		cfg.Kind = core.KindGeneral
 	}
+	if cfg.Deterministic {
+		cfg.Virtual = true
+		// Backpressure reads the in-flight count, which is decremented by
+		// worker bookkeeping at wall speed — a nondeterministic input.
+		// Deterministic runs clear everything the book offers and lean on
+		// a deep job queue instead (jobs advance via the scheduler whether
+		// or not a worker has picked them up, so depth is cheap). The
+		// floor is not negotiable: the clearing tick enqueues jobs from a
+		// scheduler callback that holds the serialized clock, so a send
+		// blocking on a small queue would deadlock the dispatcher.
+		cfg.MaxClearAhead = 0
+		if cfg.QueueDepth < 1<<16 {
+			cfg.QueueDepth = 1 << 16
+		}
+	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
+	}
+	if cfg.ClearEvery <= 0 {
+		cfg.ClearEvery = vtime.Duration(cfg.ClearInterval / cfg.Tick)
+		if cfg.ClearEvery < 1 {
+			cfg.ClearEvery = 1
+		}
 	}
 	if cfg.MinDelta <= 0 {
 		cfg.MinDelta = 4
@@ -208,31 +281,45 @@ func New(cfg Config) *Engine {
 	if cfg.MaxDelta < cfg.MinDelta {
 		cfg.MaxDelta = cfg.MinDelta
 	}
-	if cfg.AdaptiveDelta && cfg.MaxClearAhead <= 0 {
+	if cfg.AdaptiveDelta && cfg.MaxClearAhead <= 0 && !cfg.Deterministic {
 		// Adaptive Δ without backpressure is self-defeating: an up-front
 		// book would clear entirely at the initial Δ before the probe has
-		// a single window of evidence.
+		// a single window of evidence. (Deterministic mode forgoes
+		// backpressure entirely — see above.)
 		cfg.MaxClearAhead = cfg.Workers
 	}
-	e := &Engine{
-		cfg:       cfg,
-		probe:     sched.NewLatencyProbe(),
-		agg:       metrics.NewAggregate(),
-		keyring:   core.NewKeyring(rand.New(rand.NewSource(cfg.Seed + 2))),
-		vcache:    hashkey.NewVerifyCache(0),
-		jobs:      make(chan *job, cfg.QueueDepth),
-		stopClear: make(chan struct{}),
-		orders:    make(map[OrderID]*order),
-		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+	if cfg.Virtual && (cfg.MaxClearAhead <= 0 || cfg.MaxClearAhead > cfg.QueueDepth) && !cfg.Deterministic {
+		// The clearing tick runs as a scheduler callback, which under
+		// virtual time holds the clock. If it blocked on a full job queue
+		// the swaps that would free the queue could never advance; capping
+		// clear-ahead at the queue depth makes the send non-blocking.
+		cfg.MaxClearAhead = cfg.QueueDepth
 	}
-	if cfg.Virtual {
+	e := &Engine{
+		cfg:        cfg,
+		probe:      sched.NewLatencyProbe(),
+		agg:        metrics.NewAggregate(),
+		keyring:    core.NewKeyring(rand.New(rand.NewSource(cfg.Seed + 2))),
+		vcache:     hashkey.NewVerifyCache(0),
+		jobs:       make(chan *job, cfg.QueueDepth),
+		orders:     make(map[OrderID]*order),
+		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
+		clearEvery: cfg.ClearEvery,
+	}
+	switch {
+	case cfg.Deterministic:
+		// Serialized dispatch: same-tick events run in schedule order on
+		// one dispatcher goroutine — the replayable mode.
+		e.vsched = sched.NewVirtual()
+		e.sched = e.vsched
+	case cfg.Virtual:
 		// Concurrent dispatch: same-tick callbacks (contract verification
 		// above all) spread across cores, matching the real scheduler's
 		// concurrency instead of serializing the whole engine on one
 		// dispatcher goroutine.
 		e.vsched = sched.NewVirtualConcurrent()
 		e.sched = e.vsched
-	} else {
+	default:
 		e.sched = sched.NewReal(cfg.Tick)
 	}
 	e.reg = chain.NewRegistry(e.sched)
@@ -317,8 +404,7 @@ func (e *Engine) Start() error {
 		e.workerWG.Add(1)
 		go e.worker()
 	}
-	e.clearWG.Add(1)
-	go e.clearLoop()
+	e.scheduleClear()
 	return nil
 }
 
@@ -394,10 +480,11 @@ func (e *Engine) bookOrder(offer core.Offer) (OrderID, error) {
 	}
 	e.nextOrder++
 	o := &order{
-		id:          e.nextOrder,
-		offer:       offer,
-		status:      StatusPending,
-		submittedAt: time.Now(),
+		id:            e.nextOrder,
+		offer:         offer,
+		status:        StatusPending,
+		submittedAt:   time.Now(),
+		submittedTick: e.sched.Now(),
 	}
 	e.orders[o.id] = o
 	e.pending = append(e.pending, o)
@@ -416,41 +503,101 @@ func (e *Engine) Order(id OrderID) (OrderSnapshot, bool) {
 	return o.snapshot(), true
 }
 
-// clearLoop is the batch clearing service: every interval it partitions
+// Orders snapshots every order the engine ever accepted, in submission
+// order — the scenario harness's raw material for digests and
+// invariant checks.
+func (e *Engine) Orders() []OrderSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]OrderSnapshot, 0, len(e.orders))
+	for id := OrderID(1); id <= e.nextOrder; id++ {
+		if o, ok := e.orders[id]; ok {
+			out = append(out, o.snapshot())
+		}
+	}
+	return out
+}
+
+// NoteShed records arrivals dropped before intake (the open-loop
+// generator's bounded-intake backstop), so shedding shows up in the
+// engine's own per-outcome accounting.
+func (e *Engine) NoteShed(n int) { e.agg.AddShed(n) }
+
+// scheduleClear arms the next clearing tick on the shared scheduler.
+// Driving the clearing loop from the scheduler — instead of the
+// wall-clock ticker it used through PR 4 — is what makes virtual-time
+// runs deterministic end to end: clearing rounds land at fixed virtual
+// ticks, interleaved with arrivals and protocol events in schedule
+// order, rather than whenever the host OS ran a ticker goroutine.
+func (e *Engine) scheduleClear() {
+	e.clearMu.Lock()
+	defer e.clearMu.Unlock()
+	if e.clearStopped {
+		return
+	}
+	e.clearTimer = e.sched.At(e.sched.Now().Add(e.clearEvery), func() {
+		e.clearMu.Lock()
+		if e.clearStopped {
+			e.clearMu.Unlock()
+			return
+		}
+		e.clearWG.Add(1)
+		e.clearMu.Unlock()
+		defer e.clearWG.Done()
+		e.clearTick()
+		e.scheduleClear()
+	})
+}
+
+// stopClearing cancels the clearing timer and waits out a tick in
+// flight. After it returns no clearing round can run.
+func (e *Engine) stopClearing() {
+	e.clearMu.Lock()
+	e.clearStopped = true
+	t := e.clearTimer
+	e.clearMu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+	e.clearWG.Wait()
+}
+
+// clearTick is one round of the batch clearing service: it partitions
 // the pending book into executable swaps. While draining it also detects
 // a stalled book (offers that can never match) and rejects it.
-func (e *Engine) clearLoop() {
-	defer e.clearWG.Done()
-	ticker := time.NewTicker(e.cfg.ClearInterval)
-	defer ticker.Stop()
-	stall := 0
-	for {
-		select {
-		case <-e.stopClear:
-			return
-		case <-ticker.C:
-			e.clearRounds++
-			if e.cfg.AdaptiveDelta {
-				e.adaptDelta()
-			}
-			dispatched := e.clearRound()
-			e.mu.Lock()
-			stalled := e.state == stateDraining && !dispatched &&
-				e.inflight == 0 && len(e.pending) > 0
-			e.mu.Unlock()
-			if stalled {
-				stall++
-			} else {
-				stall = 0
-			}
-			if stall >= 3 {
-				// Three quiet rounds with nothing in flight: the remaining
-				// offers have no counterparties coming. Reject them so
-				// Drain can finish.
-				e.rejectPending("unmatched: no counterparties before drain")
-				stall = 0
-			}
+func (e *Engine) clearTick() {
+	e.clearRounds++
+	if e.cfg.AdaptiveDelta {
+		// Deterministic runs gate adaptation on virtual liveness: the
+		// book is non-empty, or the scheduler still holds events (a live
+		// swap always holds at least its horizon timer, and deterministic
+		// runs never early-exit). Once both are empty the run is over in
+		// virtual terms — rounds keep spinning on the virtual clock until
+		// Drain notices at wall speed, and a trailing adaptation in that
+		// window would exist on some replays and not others. Both gate
+		// inputs are pure functions of virtual state, so the gate itself
+		// replays identically; the in-flight count (decremented by worker
+		// bookkeeping at wall speed) deliberately plays no part.
+		if !e.cfg.Deterministic || e.Pending() > 0 || e.vsched.Pending() > 0 {
+			e.adaptDelta()
 		}
+	}
+	dispatched := e.clearRound()
+	e.mu.Lock()
+	stalled := e.state == stateDraining && !dispatched &&
+		e.inflight == 0 && len(e.pending) > 0
+	e.mu.Unlock()
+	if stalled {
+		e.drainStall++
+	} else {
+		e.drainStall = 0
+	}
+	if e.drainStall >= 3 {
+		// Three quiet rounds with nothing in flight: the remaining
+		// offers have no counterparties coming. Reject them so
+		// Drain can finish.
+		e.rejectPending("unmatched: no counterparties before drain")
+		e.drainStall = 0
 	}
 }
 
@@ -540,6 +687,18 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 		}
 	}
 
+	// rejectGroup is the shared recovery path for a group that cleared
+	// structurally but cannot run: drop the reservations, reject every
+	// member.
+	rejectGroup := func(reason string) {
+		release()
+		group := make([]*order, 0, len(g))
+		for _, o := range g {
+			group = append(group, byParty[o.Party])
+		}
+		e.rejectOrders(group, reason)
+	}
+
 	setup, err := core.Clear(g, core.Config{
 		Kind:    e.cfg.Kind,
 		Tag:     swapID,
@@ -549,12 +708,7 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 		Cache:   e.vcache,
 	})
 	if err != nil {
-		release()
-		group := make([]*order, 0, len(g))
-		for _, o := range g {
-			group = append(group, byParty[o.Party])
-		}
-		e.rejectOrders(group, "clearing: "+err.Error())
+		rejectGroup("clearing: " + err.Error())
 		return false
 	}
 
@@ -564,6 +718,21 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 		resv:        held,
 		adversarial: adversarial,
 		seed:        seed,
+	}
+	if e.cfg.Deterministic {
+		// Swap setup happens inside the clearing tick, on the serialized
+		// scheduler's dispatcher: the protocol start is pinned relative to
+		// this round's tick, so the whole run is a pure function of the
+		// arrival schedule and the seed. The worker only waits for the
+		// result and settles the books.
+		sb := e.buildBehaviors(setup, seed, adversarial)
+		j.deviants = sb.Deviants
+		rn, err := conc.Prepare(setup, sb.Behaviors, e.runConfig(setup.Spec, seed))
+		if err != nil {
+			rejectGroup("execution: " + err.Error())
+			return false
+		}
+		j.running = rn
 	}
 	e.mu.Lock()
 	for _, o := range g {
@@ -588,36 +757,70 @@ func (e *Engine) worker() {
 	}
 }
 
+// buildBehaviors assembles one swap's behavior overrides: the Behaviors
+// factory when configured, else the legacy AdversaryRate silent leader.
+// Deviation tallies happen at settle time (runSwap), not here, so a
+// swap rejected before it ran never counts its injected deviations.
+func (e *Engine) buildBehaviors(setup *core.Setup, seed int64, adversarial bool) SwapBehaviors {
+	var sb SwapBehaviors
+	spec := setup.Spec
+	switch {
+	case e.cfg.Behaviors != nil:
+		sb = e.cfg.Behaviors(setup, seed)
+	case adversarial:
+		// A silent leader completes Phase One and never reveals: the swap
+		// aborts, every conforming party refunds (never Underwater).
+		lv := spec.Leaders[seed%int64(len(spec.Leaders))]
+		idx, _ := spec.LeaderIndex(lv)
+		sb = SwapBehaviors{
+			Behaviors: map[digraph.Vertex]core.Behavior{lv: adversary.SilentLeader(idx)},
+			Deviants:  map[digraph.Vertex]string{lv: "silent-leader"},
+		}
+	}
+	return sb
+}
+
+// runConfig is the conc configuration every engine swap runs with. The
+// 2Δ start offset leaves deployment headroom; a deterministic per-swap
+// stagger inside one Δ spreads the event bursts of swaps dispatched in
+// the same wave.
+func (e *Engine) runConfig(spec *core.Spec, seed int64) conc.Config {
+	stagger := vtime.Duration(seed % int64(spec.Delta))
+	return conc.Config{
+		Scheduler:   e.sched,
+		StartOffset: vtime.Scale(2, spec.Delta) + stagger,
+		Registry:    e.reg,
+		// Early exit trims the horizon wait. Deterministic runs play to
+		// the horizon instead: early teardown cancels trailing deliveries
+		// at wall speed, and whether a given delivery fired or was
+		// cancelled would differ across replays.
+		EarlyExit:      !e.cfg.Deterministic,
+		Cache:          e.vcache,
+		SyncDeliveries: e.cfg.Deterministic,
+	}
+}
+
 // runSwap executes one swap over the shared registry and settles its
 // orders.
 func (e *Engine) runSwap(j *job) {
 	e.agg.SwapStarted()
 	spec := j.setup.Spec
-	// The start time is pinned only inside conc.Run, when a worker
-	// actually picks the swap up: queue latency must not eat into the
-	// protocol's deadlines, and under virtual time the clock could
-	// advance between a Now read here and the run's setup (StartOffset
-	// pins it atomically under a scheduler hold). A deterministic
-	// per-swap stagger inside one Δ spreads the event bursts of swaps
-	// dispatched in the same wave.
-	stagger := vtime.Duration(j.seed % int64(spec.Delta))
-
-	var behaviors map[digraph.Vertex]core.Behavior
-	if j.adversarial {
-		// A silent leader completes Phase One and never reveals: the swap
-		// aborts, every conforming party refunds (never Underwater).
-		lv := spec.Leaders[j.seed%int64(len(spec.Leaders))]
-		idx, _ := spec.LeaderIndex(lv)
-		behaviors = map[digraph.Vertex]core.Behavior{lv: adversary.SilentLeader(idx)}
+	var res *conc.Result
+	var err error
+	if j.running != nil {
+		// Deterministic mode: the run was prepared inside the clearing
+		// tick; the protocol is already playing out on the scheduler.
+		res = j.running.Wait()
+	} else {
+		// The start time is pinned only inside conc.Run, when a worker
+		// actually picks the swap up: queue latency must not eat into the
+		// protocol's deadlines, and under virtual time the clock could
+		// advance between a Now read here and the run's setup (StartOffset
+		// pins it atomically under a scheduler hold).
+		sb := e.buildBehaviors(j.setup, j.seed, j.adversarial)
+		j.deviants = sb.Deviants
+		res, err = conc.Run(j.setup, sb.Behaviors, e.runConfig(spec, j.seed))
 	}
-
-	res, err := conc.Run(j.setup, behaviors, conc.Config{
-		Scheduler:   e.sched,
-		StartOffset: vtime.Scale(2, spec.Delta) + stagger,
-		Registry:    e.reg,
-		EarlyExit:   true,
-		Cache:       e.vcache,
-	})
 	for _, r := range j.resv {
 		e.reg.Release(r.chain, r.asset, j.swapID)
 	}
@@ -632,8 +835,10 @@ func (e *Engine) runSwap(j *job) {
 		}
 		o.status = StatusSettled
 		o.settledAt = now
+		o.settledTick = res.SettleTick
 		if v, ok := spec.VertexOf(o.offer.Party); ok {
 			o.class = res.Report.Of(v)
+			o.deviant = j.deviants[v]
 		}
 	}
 	e.inflight--
@@ -643,6 +848,12 @@ func (e *Engine) runSwap(j *job) {
 		e.agg.AddRejected(len(j.orders))
 		e.agg.SwapFinished(true)
 		return
+	}
+	if len(j.deviants) > 0 {
+		e.agg.AddSabotaged(len(j.orders))
+		for _, name := range j.deviants {
+			e.agg.AddDeviation(name)
+		}
 	}
 	for _, o := range j.orders {
 		e.agg.AddOutcome(o.class.String(), now.Sub(o.submittedAt))
@@ -726,8 +937,7 @@ func (e *Engine) Stop(ctx context.Context) error {
 	}
 	e.state = stateStopped
 	e.mu.Unlock()
-	close(e.stopClear)
-	e.clearWG.Wait()
+	e.stopClearing()
 	close(e.jobs)
 	e.workerWG.Wait()
 	if e.vsched != nil {
@@ -760,7 +970,17 @@ func (e *Engine) InFlight() int {
 // once, with its recorded amount, on its chain, and every ledger's hash
 // chain is intact. When nothing is in flight it additionally requires
 // every asset to be party-owned (no stranded escrow).
-func (e *Engine) VerifyConservation() error {
+func (e *Engine) VerifyConservation() error { return e.verifyLedgers(true) }
+
+// VerifyLedgerIntegrity is VerifyConservation without the stranded-
+// escrow check: ledgers intact, every minted asset present exactly once
+// with its recorded amount and a well-defined owner. Scenarios with
+// crash-faulted or claim-withholding deviants use it — a crashed party
+// legitimately leaves its escrow unclaimed forever, which is its own
+// loss, not a conservation violation.
+func (e *Engine) VerifyLedgerIntegrity() error { return e.verifyLedgers(false) }
+
+func (e *Engine) verifyLedgers(strandCheck bool) error {
 	e.mu.Lock()
 	minted := append([]mintRec(nil), e.minted...)
 	quiescent := e.inflight == 0
@@ -783,7 +1003,7 @@ func (e *Engine) VerifyConservation() error {
 		if !ok {
 			return fmt.Errorf("engine: asset %s/%s has no owner", m.chain, m.asset)
 		}
-		if quiescent && owner.Kind != chain.OwnerParty {
+		if strandCheck && quiescent && owner.Kind != chain.OwnerParty {
 			return fmt.Errorf("engine: asset %s/%s stranded in escrow (%s)",
 				m.chain, m.asset, owner)
 		}

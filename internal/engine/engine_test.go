@@ -8,9 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"github.com/go-atomicswap/atomicswap/internal/adversary"
 	"github.com/go-atomicswap/atomicswap/internal/chain"
 	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
 	"github.com/go-atomicswap/atomicswap/internal/outcome"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
 // testConfig gives each swap generous wall-clock slack per Δ: the timeout
@@ -677,6 +680,121 @@ func TestEngineVirtualStopWithoutStart(t *testing.T) {
 	defer cancel()
 	if err := e.Stop(ctx); err != nil {
 		t.Fatalf("Stop without Start: %v", err)
+	}
+}
+
+// TestEngineDeterministicReplay pins the engine-level replay contract
+// underneath the scenario harness: the same seeded offer schedule,
+// driven through the scheduler of a Deterministic engine, yields
+// identical tick traces (submit and settle ticks per order) on every
+// run. The clearing loop rides the shared scheduler now — on a
+// wall-clock ticker this diverged run to run.
+func TestEngineDeterministicReplay(t *testing.T) {
+	trace := func() []OrderSnapshot {
+		cfg := testConfig()
+		cfg.Deterministic = true
+		e := New(cfg)
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Install the arrival schedule under a hold, like loadgen does:
+		// ring i's three offers land at ticks 4i+1..4i+3.
+		sc := e.Scheduler()
+		release := sc.Hold()
+		var wg sync.WaitGroup
+		for i := 0; i < 6; i++ {
+			offers := ringOffers(fmt.Sprintf("det%d", i), "a", "b", "c")
+			for j, o := range offers {
+				o := o
+				wg.Add(1)
+				sc.At(vtime.Ticks(4*i+j+1), func() {
+					defer wg.Done()
+					if _, err := e.Submit(o); err != nil {
+						t.Errorf("submit: %v", err)
+					}
+				})
+			}
+		}
+		release()
+		wg.Wait()
+		drainAndStop(t, e)
+		if err := e.VerifyConservation(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Orders()
+	}
+	a, b := trace(), trace()
+	if len(a) != 18 || len(b) != 18 {
+		t.Fatalf("traces hold %d/%d orders, want 18", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].SubmittedTick != b[i].SubmittedTick || a[i].SettledTick != b[i].SettledTick ||
+			a[i].Status != b[i].Status || a[i].Class != b[i].Class || a[i].Swap != b[i].Swap {
+			t.Fatalf("replay diverged at order %d:\n%+v\nvs\n%+v", i, a[i], b[i])
+		}
+		if a[i].Status == StatusSettled && a[i].SettledTick <= a[i].SubmittedTick {
+			t.Fatalf("order %d settled tick %d not after submit tick %d",
+				i, a[i].SettledTick, a[i].SubmittedTick)
+		}
+	}
+}
+
+// TestEngineBehaviorFactory exercises the deviation-injection hook: a
+// factory that marks one vertex per swap as a silent leader must tag the
+// victim order as deviant, count the swap's orders as sabotaged, and
+// still leave every conforming party acceptable.
+func TestEngineBehaviorFactory(t *testing.T) {
+	cfg := testConfig()
+	cfg.Virtual = true
+	cfg.Behaviors = func(setup *core.Setup, seed int64) SwapBehaviors {
+		spec := setup.Spec
+		lv := spec.Leaders[0]
+		idx, _ := spec.LeaderIndex(lv)
+		return SwapBehaviors{
+			Behaviors: map[digraph.Vertex]core.Behavior{lv: adversary.SilentLeader(idx)},
+			Deviants:  map[digraph.Vertex]string{lv: "silent-leader"},
+		}
+	}
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for _, o := range ringOffers(fmt.Sprintf("bf%d", i), "a", "b", "c") {
+			if _, err := e.Submit(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drainAndStop(t, e)
+	deviants := 0
+	for _, snap := range e.Orders() {
+		if snap.Status != StatusSettled {
+			t.Fatalf("order %d: %s", snap.ID, snap.Status)
+		}
+		if snap.Deviant != "" {
+			deviants++
+			continue
+		}
+		if !snap.Class.Acceptable() {
+			t.Fatalf("conforming order %d ended %s", snap.ID, snap.Class)
+		}
+	}
+	if deviants != 3 {
+		t.Fatalf("%d deviant orders, want 3 (one per swap)", deviants)
+	}
+	rep := e.Report()
+	if rep.OrdersSabotaged != 9 {
+		t.Fatalf("sabotaged %d orders, want all 9", rep.OrdersSabotaged)
+	}
+	if rep.Deviations["silent-leader"] != 3 {
+		t.Fatalf("deviations: %v", rep.Deviations)
+	}
+	if rep.OrdersRefunded == 0 {
+		t.Fatalf("silent leaders aborted nothing: %v", rep.Outcomes)
+	}
+	if err := e.VerifyConservation(); err != nil {
+		t.Fatal(err)
 	}
 }
 

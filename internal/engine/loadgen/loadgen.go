@@ -131,6 +131,7 @@ func Run(ctx context.Context, e *engine.Engine, cfg Config) (Stats, error) {
 			if shed {
 				st.Shed++
 				mu.Unlock()
+				e.NoteShed(1) // surface shedding in the engine's own counters
 				return
 			}
 			mu.Unlock()

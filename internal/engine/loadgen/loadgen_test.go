@@ -243,6 +243,95 @@ func TestOpenLoadShedsInsteadOfGrowing(t *testing.T) {
 	}
 }
 
+// TestRampDegenerateBounds pins ramp's edge cases: from==to must
+// degenerate to the constant profile exactly (the normalization's
+// to==from branch), and the parser must accept it.
+func TestRampDegenerateBounds(t *testing.T) {
+	const n, rate = 200, 1000.0
+	tick := time.Millisecond
+	flat := Schedule(Ramp{From: 1, To: 1}, n, rate, tick, 3)
+	want := Schedule(Constant{}, n, rate, tick, 3)
+	for i := range flat {
+		if flat[i] != want[i] {
+			t.Fatalf("ramp:1:1 diverged from constant at %d: %v vs %v", i, flat[i], want[i])
+		}
+	}
+	// Degenerate bounds other than 1 still hold the configured rate.
+	for _, v := range []float64{0.5, 2} {
+		s := Schedule(Ramp{From: v, To: v}, n, rate, tick, 3)
+		if span := float64(s[n-1] - s[0]); span < 0.95*n || span > 1.05*n {
+			t.Errorf("ramp:%g:%g span %.0f ticks for %d arrivals — rate not preserved", v, v, span, n)
+		}
+	}
+	p, err := ParseProfile("ramp:1:1")
+	if err != nil {
+		t.Fatalf("ParseProfile(ramp:1:1): %v", err)
+	}
+	if p.Name() != "ramp:1:1" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+// TestBurstLargerThanMaxPending floods whole bursts past the shed
+// threshold: a burst bigger than MaxPending must shed its overflow
+// ring-granularly (no partial rings stranded in the book), keep the
+// accounting closed, and still drain clean.
+func TestBurstLargerThanMaxPending(t *testing.T) {
+	rep, err := RunOpenLoad(vtimeConfig(2), Config{
+		Offers:     90,
+		Rate:       4000,
+		Process:    Burst{Size: 30}, // 30 back-to-back arrivals per burst
+		MaxPending: 6,               // far below one burst
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Load
+	if st.Shed == 0 {
+		t.Fatalf("burst of 30 against MaxPending 6 shed nothing: %+v", st)
+	}
+	if st.Submitted+st.Shed+st.Refused != st.Offered {
+		t.Fatalf("intake accounting leaks: %+v", st)
+	}
+	if st.Submitted == 0 {
+		t.Fatalf("everything shed: %+v", st)
+	}
+	// Shedding is ring-granular: whatever was submitted must have cleared
+	// into whole swaps, not lingered as unmatched fragments.
+	if rep.InFlight != 0 || rep.SwapsFailed != 0 {
+		t.Fatalf("engine did not drain clean: %+v", rep.Throughput)
+	}
+	// The engine's own counters carry the shed total (NoteShed wiring).
+	if rep.OffersShed != st.Shed {
+		t.Fatalf("engine counted %d shed, generator %d", rep.OffersShed, st.Shed)
+	}
+}
+
+// TestZeroRateRejected pins the zero- and negative-rate contract: the
+// generator refuses them instead of dividing by zero into an infinite
+// schedule.
+func TestZeroRateRejected(t *testing.T) {
+	e := engine.New(vtimeConfig(1))
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Stop(ctx)
+	}()
+	for _, rate := range []float64{0, -100} {
+		if _, err := Run(context.Background(), e, Config{Offers: 3, Rate: rate, Seed: 1}); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+	// Zero offers is refused the same way.
+	if _, err := Run(context.Background(), e, Config{Offers: 0, Rate: 100, Seed: 1}); err == nil {
+		t.Error("zero offers accepted")
+	}
+}
+
 // TestRunContextCancel checks a cancelled load stops scheduling and
 // reports the partial stats instead of hanging.
 func TestRunContextCancel(t *testing.T) {

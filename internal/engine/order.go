@@ -5,6 +5,7 @@ import (
 
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/outcome"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
 // OrderID identifies a submitted offer for its whole lifetime.
@@ -45,14 +46,21 @@ func (s OrderStatus) String() string {
 // order is the engine's mutable record of one offer (guarded by the
 // engine mutex).
 type order struct {
-	id          OrderID
-	offer       core.Offer
-	status      OrderStatus
-	reason      string
-	class       outcome.Class
-	swap        string // tag of the swap that absorbed the order
+	id      OrderID
+	offer   core.Offer
+	status  OrderStatus
+	reason  string
+	class   outcome.Class
+	swap    string // tag of the swap that absorbed the order
+	deviant string // injected deviation strategy, "" for conforming
+
 	submittedAt time.Time
 	settledAt   time.Time
+	// Tick-domain counterparts: wall times vary run to run, but under a
+	// deterministic scheduler the tick stamps are replay-identical, so
+	// digests and traces are built from these.
+	submittedTick vtime.Ticks
+	settledTick   vtime.Ticks
 }
 
 // OrderSnapshot is the caller-visible copy of an order's state.
@@ -66,18 +74,31 @@ type OrderSnapshot struct {
 	Swap string
 	// Class is the party's payoff class, valid once settled.
 	Class outcome.Class
+	// Deviant names the deviation strategy injected into this order's
+	// party, empty for a conforming party. A party can only be left
+	// Underwater if it deviated — the invariant the scenario harness
+	// checks on every run.
+	Deviant string
 	// Latency is submit-to-settle wall time, valid once settled.
 	Latency time.Duration
+	// SubmittedTick and SettledTick are the virtual-tick counterparts of
+	// the wall timestamps (SettledTick valid once settled); identical
+	// across replays of a deterministic run.
+	SubmittedTick vtime.Ticks
+	SettledTick   vtime.Ticks
 }
 
 func (o *order) snapshot() OrderSnapshot {
 	s := OrderSnapshot{
-		ID:     o.id,
-		Party:  string(o.offer.Party),
-		Status: o.status,
-		Reason: o.reason,
-		Swap:   o.swap,
-		Class:  o.class,
+		ID:            o.id,
+		Party:         string(o.offer.Party),
+		Status:        o.status,
+		Reason:        o.reason,
+		Swap:          o.swap,
+		Class:         o.class,
+		Deviant:       o.deviant,
+		SubmittedTick: o.submittedTick,
+		SettledTick:   o.settledTick,
 	}
 	if o.status == StatusSettled {
 		s.Latency = o.settledAt.Sub(o.submittedAt)

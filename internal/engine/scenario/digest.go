@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+
+	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
+)
+
+// Digest is a scenario run's canonical, replay-stable summary. It
+// contains only tick-domain and count-valued facts — nothing derived
+// from wall-clock time — so two runs of the same Scenario marshal to
+// byte-identical JSON. That property is load-bearing: the determinism
+// regression test and the CI replay job literally diff the bytes.
+type Digest struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Profile  string `json:"profile"`
+
+	// Intake accounting, in arrivals.
+	Offered   int `json:"offered"`
+	Submitted int `json:"submitted"`
+	Shed      int `json:"shed"`
+	Refused   int `json:"refused"`
+	// FirstTick and LastTick span the arrival schedule.
+	FirstTick int64 `json:"first_tick"`
+	LastTick  int64 `json:"last_tick"`
+
+	// Swap and order outcomes.
+	SwapsFinished   int            `json:"swaps_finished"`
+	SwapsFailed     int            `json:"swaps_failed"`
+	Outcomes        map[string]int `json:"outcomes"`
+	OrdersSabotaged int            `json:"orders_sabotaged"`
+	Deviations      map[string]int `json:"deviations,omitempty"`
+
+	// DeltaTrajectory is the adaptive-Δ controller's decision series in
+	// tick units (wall timestamps stripped).
+	DeltaTrajectory []DeltaStep `json:"delta_trajectory,omitempty"`
+
+	// SettleOrder lists swap tags in settle order — by settle tick, tag
+	// breaking ties among same-tick settles.
+	SettleOrder []string `json:"settle_order"`
+	// Orders is the per-order trace in submission order.
+	Orders []OrderDigest `json:"orders"`
+
+	// Conservation is "ok" or the audit failure; Safety is "ok" or the
+	// first violation.
+	Conservation string `json:"conservation"`
+	Safety       string `json:"safety"`
+	Violations   int    `json:"violations"`
+}
+
+// DeltaStep is one adaptive-Δ decision, tick-domain fields only.
+type DeltaStep struct {
+	Round          int     `json:"round"`
+	DeltaTicks     int     `json:"delta_ticks"`
+	WindowEWMA     float64 `json:"ewma_ticks"`
+	WindowMaxTicks int     `json:"window_max_ticks"`
+	WindowSamples  int     `json:"window_samples"`
+}
+
+// OrderDigest is one order's replay-stable trace entry.
+type OrderDigest struct {
+	ID         uint64 `json:"id"`
+	Party      string `json:"party"`
+	Status     string `json:"status"`
+	Class      string `json:"class,omitempty"`
+	Swap       string `json:"swap,omitempty"`
+	Deviant    string `json:"deviant,omitempty"`
+	SubmitTick int64  `json:"submit_tick"`
+	SettleTick int64  `json:"settle_tick,omitempty"`
+}
+
+// JSON renders the digest as canonical JSON (encoding/json sorts map
+// keys, struct fields marshal in declaration order).
+func (d Digest) JSON() string {
+	b, _ := json.Marshal(d)
+	return string(b)
+}
+
+// Hash is the digest's sha256 in hex — the one-line replay fingerprint.
+func (d Digest) Hash() string {
+	sum := sha256.Sum256([]byte(d.JSON()))
+	return hex.EncodeToString(sum[:])
+}
+
+// buildDigest assembles the canonical summary from the run's parts.
+func buildDigest(sc Scenario, load loadgen.Stats, rep metrics.Throughput,
+	orders []engine.OrderSnapshot, violations []Violation, conservation string) Digest {
+
+	d := Digest{
+		Scenario:        sc.Name,
+		Seed:            sc.Seed,
+		Profile:         sc.Profile,
+		Offered:         load.Offered,
+		Submitted:       load.Submitted,
+		Shed:            load.Shed,
+		Refused:         load.Refused,
+		FirstTick:       int64(load.FirstTick),
+		LastTick:        int64(load.LastTick),
+		SwapsFinished:   rep.SwapsFinished,
+		SwapsFailed:     rep.SwapsFailed,
+		Outcomes:        rep.Outcomes,
+		OrdersSabotaged: rep.OrdersSabotaged,
+		Deviations:      rep.Deviations,
+		Conservation:    conservation,
+		Safety:          "ok",
+		Violations:      len(violations),
+	}
+	for _, p := range rep.DeltaTrajectory {
+		d.DeltaTrajectory = append(d.DeltaTrajectory, DeltaStep{
+			Round:          p.Round,
+			DeltaTicks:     p.DeltaTicks,
+			WindowEWMA:     p.WindowEWMA,
+			WindowMaxTicks: p.WindowMaxTicks,
+			WindowSamples:  p.WindowSamples,
+		})
+	}
+	if len(violations) > 0 {
+		d.Safety = violations[0].Detail
+	}
+
+	type settled struct {
+		tick int64
+		swap string
+	}
+	seen := make(map[string]settled)
+	d.Orders = make([]OrderDigest, 0, len(orders))
+	for _, o := range orders {
+		od := OrderDigest{
+			ID:         uint64(o.ID),
+			Party:      o.Party,
+			Status:     o.Status.String(),
+			Swap:       o.Swap,
+			Deviant:    o.Deviant,
+			SubmitTick: int64(o.SubmittedTick),
+		}
+		if o.Status == engine.StatusSettled {
+			od.Class = o.Class.String()
+			od.SettleTick = int64(o.SettledTick)
+			if _, ok := seen[o.Swap]; !ok {
+				seen[o.Swap] = settled{tick: od.SettleTick, swap: o.Swap}
+			}
+		}
+		d.Orders = append(d.Orders, od)
+	}
+	swaps := make([]settled, 0, len(seen))
+	for _, s := range seen {
+		swaps = append(swaps, s)
+	}
+	sort.Slice(swaps, func(i, j int) bool {
+		if swaps[i].tick != swaps[j].tick {
+			return swaps[i].tick < swaps[j].tick
+		}
+		return swaps[i].swap < swaps[j].swap
+	})
+	d.SettleOrder = make([]string, len(swaps))
+	for i, s := range swaps {
+		d.SettleOrder[i] = s.swap
+	}
+	return d
+}

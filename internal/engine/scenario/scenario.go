@@ -1,0 +1,312 @@
+// Package scenario is the deterministic scenario harness for the
+// clearing engine: a small DSL that composes an open-loop arrival
+// profile (internal/engine/loadgen) with per-party deviation strategies
+// (internal/adversary) injected at configurable rates, runs the whole
+// thing on the engine's deterministic scheduler mode, and checks the
+// paper's safety invariant afterwards.
+//
+// Herlihy's Theorem 4.9 quantifies over conforming parties under
+// arbitrary deviation, but a load harness that only ever drives
+// fully-conforming swarms witnesses none of it. A Scenario turns "40%
+// Poisson load with 10% silent leaders and 5% crash faults" into a
+// one-struct experiment whose every run asserts: no conforming party
+// ends Underwater, and the ledgers conserve every minted asset.
+//
+// Replayability is the second half of the contract. A scenario run is a
+// pure function of its seed: the engine runs in Deterministic mode
+// (serialized virtual scheduler, clearing rounds at fixed ticks, swap
+// setup pinned inside the clearing tick, synchronous deliveries), so
+// the same Scenario value produces a byte-identical Digest — intake
+// ticks, clearing rounds, Δ trajectory, settle order, outcome counts —
+// on every replay, on any machine. Every future performance PR can
+// therefore be checked against a seeded adversarial corpus instead of a
+// clean-room load.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// Deviation injects one strategy from the taxonomy (see Strategies) at
+// a per-party rate: each party of each cleared swap independently draws
+// against the cumulative rates of the scenario's deviation list.
+type Deviation struct {
+	// Strategy names a registered deviation (Strategies lists them).
+	Strategy string `json:"strategy"`
+	// Rate is the per-party injection probability in [0, 1].
+	Rate float64 `json:"rate"`
+}
+
+// Scenario is one seed-replayable experiment: an arrival profile, a
+// deviation mix, and the engine knobs that matter to the schedule.
+type Scenario struct {
+	// Name labels the scenario in digests and reports.
+	Name string `json:"name"`
+	// Seed drives everything: arrivals, ring sizes, swap keys, deviation
+	// draws. Same Scenario value ⇒ byte-identical Digest.
+	Seed int64 `json:"seed"`
+
+	// Offers is the approximate open-loop offer budget (rings are always
+	// completed; see loadgen.Config.Offers).
+	Offers int `json:"offers"`
+	// Rate is the average offered load in offers per second of scheduler
+	// time.
+	Rate float64 `json:"rate"`
+	// Profile is the arrival process: "constant", "poisson", "burst[:n]",
+	// or "ramp[:from:to]" (default "poisson").
+	Profile string `json:"profile"`
+	// RingMin and RingMax bound generated barter-ring sizes (default 3/3).
+	RingMin int `json:"ring_min,omitempty"`
+	RingMax int `json:"ring_max,omitempty"`
+	// PartyPool reuses a fixed pool of ring-group identities (0 mints
+	// fresh parties per ring).
+	PartyPool int `json:"party_pool,omitempty"`
+	// MaxPending is the bounded-intake shed threshold (0 = loadgen
+	// default, negative disables).
+	MaxPending int `json:"max_pending,omitempty"`
+
+	// Workers sizes the engine's executor pool (default 8).
+	Workers int `json:"workers,omitempty"`
+	// Delta is the per-swap Δ in ticks (default core.DefaultDelta).
+	Delta vtime.Duration `json:"delta,omitempty"`
+	// ClearEvery is the clearing cadence in ticks (default 2).
+	ClearEvery vtime.Duration `json:"clear_every,omitempty"`
+	// AdaptiveDelta enables the observed-latency Δ controller; its
+	// decision trajectory becomes part of the digest.
+	AdaptiveDelta bool `json:"adaptive_delta,omitempty"`
+
+	// Deviations is the adversarial mix injected into the stream.
+	Deviations []Deviation `json:"deviations,omitempty"`
+}
+
+// Violation is one failed safety check.
+type Violation struct {
+	// Order is the violating order (0 for run-level violations).
+	Order engine.OrderID `json:"order,omitempty"`
+	Party string         `json:"party,omitempty"`
+	Swap  string         `json:"swap,omitempty"`
+	// Detail says what went wrong.
+	Detail string `json:"detail"`
+}
+
+// Result is a finished scenario run.
+type Result struct {
+	// Digest is the canonical replay-stable summary; two runs of the same
+	// Scenario must produce byte-identical Digest.JSON().
+	Digest Digest
+	// Report is the engine's full service-level metrics (wall-clock
+	// fields included — not replay-stable, excluded from the digest).
+	Report metrics.Throughput
+	// Load is the open-loop generator's intake accounting.
+	Load loadgen.Stats
+	// Violations lists every failed safety check (empty on a good run).
+	Violations []Violation
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Name == "" {
+		sc.Name = "scenario"
+	}
+	if sc.Profile == "" {
+		sc.Profile = "poisson"
+	}
+	if sc.Workers <= 0 {
+		sc.Workers = 8
+	}
+	if sc.Delta <= 0 {
+		sc.Delta = core.DefaultDelta
+	}
+	if sc.ClearEvery <= 0 {
+		sc.ClearEvery = 2
+	}
+	return sc
+}
+
+// validate checks the scenario's shape and strategy names.
+func (sc Scenario) validate() error {
+	if sc.Offers <= 0 {
+		return fmt.Errorf("scenario %q: Offers must be positive", sc.Name)
+	}
+	if sc.Rate <= 0 {
+		return fmt.Errorf("scenario %q: Rate must be positive", sc.Name)
+	}
+	total := 0.0
+	for _, d := range sc.Deviations {
+		if _, ok := strategies[d.Strategy]; !ok {
+			return fmt.Errorf("scenario %q: unknown strategy %q (want one of %v)",
+				sc.Name, d.Strategy, Strategies())
+		}
+		if d.Rate < 0 || d.Rate > 1 {
+			return fmt.Errorf("scenario %q: strategy %s rate %v outside [0,1]",
+				sc.Name, d.Strategy, d.Rate)
+		}
+		total += d.Rate
+	}
+	if total > 1 {
+		return fmt.Errorf("scenario %q: deviation rates sum to %v > 1", sc.Name, total)
+	}
+	return nil
+}
+
+// stranding reports whether the mix contains a strategy whose deviants
+// may legitimately leave escrow unclaimed forever.
+func (sc Scenario) strandingMix() bool {
+	for _, d := range sc.Deviations {
+		if d.Rate > 0 && stranding[d.Strategy] {
+			return true
+		}
+	}
+	return false
+}
+
+// factory compiles the deviation mix into the engine's behavior hook: a
+// pure function of (setup, seed) — every draw comes from a rand seeded
+// by the swap's own seed, never from shared state — which is what lets
+// the engine call it on the clearing path and still replay
+// byte-identically.
+func (sc Scenario) factory() engine.BehaviorFactory {
+	if len(sc.Deviations) == 0 {
+		return nil
+	}
+	devs := append([]Deviation(nil), sc.Deviations...)
+	return func(setup *core.Setup, seed int64) engine.SwapBehaviors {
+		rng := rand.New(rand.NewSource(seed ^ 0x5ce9a610))
+		spec := setup.Spec
+		var sb engine.SwapBehaviors
+		for v := 0; v < spec.D.NumVertices(); v++ {
+			u := rng.Float64()
+			acc := 0.0
+			for _, d := range devs {
+				acc += d.Rate
+				if u >= acc {
+					continue
+				}
+				if b, ok := strategies[d.Strategy](rng, spec, digraph.Vertex(v)); ok {
+					if sb.Behaviors == nil {
+						sb.Behaviors = make(map[digraph.Vertex]core.Behavior)
+						sb.Deviants = make(map[digraph.Vertex]string)
+					}
+					sb.Behaviors[digraph.Vertex(v)] = b
+					sb.Deviants[digraph.Vertex(v)] = d.Strategy
+				}
+				break
+			}
+		}
+		return sb
+	}
+}
+
+// Run executes the scenario once and returns its result. The error is
+// for harness failures (bad scenario, engine refusing to run); safety
+// findings go into Result.Violations and the digest, so callers can
+// diff replays even when the invariant broke.
+func Run(sc Scenario) (*Result, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	process, err := loadgen.ParseProfile(sc.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+
+	e := engine.New(engine.Config{
+		Workers:       sc.Workers,
+		Tick:          time.Millisecond,
+		Delta:         sc.Delta,
+		ClearEvery:    sc.ClearEvery,
+		AdaptiveDelta: sc.AdaptiveDelta,
+		Seed:          sc.Seed,
+		Deterministic: true,
+		Behaviors:     sc.factory(),
+		// Deterministic mode forgoes clear-ahead backpressure, so the job
+		// queue must hold every swap the book can produce.
+		QueueDepth: sc.Offers + 64,
+	})
+	if err := e.Start(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	stats, err := loadgen.Run(ctx, e, loadgen.Config{
+		Offers:     sc.Offers,
+		RingMin:    sc.RingMin,
+		RingMax:    sc.RingMax,
+		Rate:       sc.Rate,
+		Process:    process,
+		PartyPool:  sc.PartyPool,
+		MaxPending: sc.MaxPending,
+		Seed:       sc.Seed,
+	})
+	if err != nil {
+		e.Stop(ctx)
+		return nil, fmt.Errorf("scenario %q: load: %w", sc.Name, err)
+	}
+	if err := e.Stop(ctx); err != nil {
+		return nil, fmt.Errorf("scenario %q: drain: %w", sc.Name, err)
+	}
+
+	orders := e.Orders()
+	res := &Result{
+		Report:     e.Report(),
+		Load:       stats,
+		Violations: checkSafety(orders),
+	}
+
+	// Conservation audit: the full invariant (no stranded escrow) when
+	// every deviant eventually walks away from its contracts, ledger
+	// integrity plus minted-asset conservation when the mix can strand
+	// escrow by design.
+	conservation := "ok"
+	audit := e.VerifyConservation
+	if sc.strandingMix() {
+		audit = e.VerifyLedgerIntegrity
+	}
+	if err := audit(); err != nil {
+		conservation = err.Error()
+		res.Violations = append(res.Violations, Violation{Detail: "conservation: " + err.Error()})
+	}
+
+	res.Digest = buildDigest(sc, stats, res.Report, orders, res.Violations, conservation)
+	return res, nil
+}
+
+// checkSafety applies the paper's uniformity invariant to every settled
+// order: a party that ran the conforming protocol may end with any
+// acceptable class (Deal, NoDeal, Discount, FreeRide) but never
+// Underwater — only deviants can sink. Swaps that failed outright
+// (execution errors) are violations too: the harness promises every
+// accepted order a protocol-level outcome.
+func checkSafety(orders []engine.OrderSnapshot) []Violation {
+	var out []Violation
+	for _, o := range orders {
+		switch o.Status {
+		case engine.StatusSettled:
+			if o.Deviant == "" && !o.Class.Acceptable() {
+				out = append(out, Violation{
+					Order: o.ID, Party: o.Party, Swap: o.Swap,
+					Detail: fmt.Sprintf("conforming party ended %s", o.Class),
+				})
+			}
+		case engine.StatusRejected:
+			if strings.HasPrefix(o.Reason, "execution:") {
+				out = append(out, Violation{
+					Order: o.ID, Party: o.Party, Swap: o.Swap,
+					Detail: "swap failed outright: " + o.Reason,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import "fmt"
+
+// Suite is the built-in scenario corpus: one entry per workload shape
+// the reproduction must keep witnessing. swapbench -scenario runs it,
+// CI replays it twice and diffs the digests, and future perf PRs
+// inherit it as a fixed adversarial regression set. The seed offset
+// shifts every scenario's seed, so one flag re-rolls the whole corpus.
+func Suite(seedOffset int64) []Scenario {
+	return []Scenario{
+		{
+			// The conforming baseline: every swap must Deal.
+			Name:    "conforming-poisson",
+			Seed:    101 + seedOffset,
+			Offers:  48,
+			Rate:    2000,
+			Profile: "poisson",
+		},
+		{
+			// The paper's griefing attack at scale: a quarter of parties
+			// refuse to unlock, stalling or silencing their swaps; every
+			// conforming party must walk away whole.
+			Name:    "griefing-mix",
+			Seed:    202 + seedOffset,
+			Offers:  48,
+			Rate:    2000,
+			Profile: "poisson",
+			Deviations: []Deviation{
+				{Strategy: "silent-leader", Rate: 0.15},
+				{Strategy: "stall-past-timelock", Rate: 0.10},
+			},
+		},
+		{
+			// Crash/abort interleavings under bursty load — the AC3-style
+			// fault schedule: deployment starvation, random-phase crashes,
+			// withheld claims.
+			Name:    "crash-swarm",
+			Seed:    303 + seedOffset,
+			Offers:  48,
+			Rate:    3000,
+			Profile: "burst:8",
+			Deviations: []Deviation{
+				{Strategy: "withhold-publish", Rate: 0.10},
+				{Strategy: "crash", Rate: 0.10},
+				{Strategy: "no-claim", Rate: 0.05},
+			},
+		},
+		{
+			// Everything at once on a climbing ramp with adaptive Δ: six
+			// strategies, shed pressure, and the Δ controller all in one
+			// replayable trace.
+			Name:          "kitchen-sink-ramp",
+			Seed:          404 + seedOffset,
+			Offers:        60,
+			Rate:          2500,
+			Profile:       "ramp:0.5:2",
+			RingMin:       3,
+			RingMax:       4,
+			AdaptiveDelta: true,
+			Deviations: []Deviation{
+				{Strategy: "silent-leader", Rate: 0.08},
+				{Strategy: "withhold-publish", Rate: 0.06},
+				{Strategy: "crash", Rate: 0.06},
+				{Strategy: "stall-past-timelock", Rate: 0.06},
+				{Strategy: "corrupt-publish", Rate: 0.06},
+				{Strategy: "eager-publish", Rate: 0.06},
+			},
+		},
+		{
+			// Overload: arrivals far beyond capacity against a tiny shed
+			// threshold — the backstop's accounting, adversarially seasoned.
+			Name:       "overload-shed",
+			Seed:       505 + seedOffset,
+			Offers:     60,
+			Rate:       1e5,
+			Profile:    "burst:16",
+			MaxPending: 12,
+			Deviations: []Deviation{
+				{Strategy: "silent-leader", Rate: 0.2},
+			},
+		},
+	}
+}
+
+// ByName returns the suite scenario with the given name.
+func ByName(name string, seedOffset int64) (Scenario, error) {
+	for _, sc := range Suite(seedOffset) {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	names := make([]string, 0)
+	for _, sc := range Suite(0) {
+		names = append(names, sc.Name)
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (want one of %v)", name, names)
+}

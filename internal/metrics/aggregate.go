@@ -19,6 +19,7 @@ type Aggregate struct {
 	offersSubmitted int
 	offersCleared   int
 	offersRejected  int
+	offersShed      int
 
 	swapsStarted  int
 	swapsFinished int
@@ -27,7 +28,9 @@ type Aggregate struct {
 	inflight     int
 	peakInflight int
 
-	outcomes map[string]int
+	outcomes        map[string]int
+	ordersSabotaged int
+	deviations      map[string]int
 
 	latencyCount int
 	latencySum   time.Duration
@@ -47,7 +50,11 @@ type Aggregate struct {
 // NewAggregate starts an aggregate; elapsed time (and therefore the /sec
 // rates) count from this moment.
 func NewAggregate() *Aggregate {
-	return &Aggregate{startedAt: time.Now(), outcomes: make(map[string]int)}
+	return &Aggregate{
+		startedAt:  time.Now(),
+		outcomes:   make(map[string]int),
+		deviations: make(map[string]int),
+	}
 }
 
 // AddSubmitted records offers entering the intake queue.
@@ -69,6 +76,30 @@ func (a *Aggregate) AddCleared(n int) {
 func (a *Aggregate) AddRejected(n int) {
 	a.mu.Lock()
 	a.offersRejected += n
+	a.mu.Unlock()
+}
+
+// AddShed records arrivals dropped by a bounded-intake backstop before
+// they ever reached the book.
+func (a *Aggregate) AddShed(n int) {
+	a.mu.Lock()
+	a.offersShed += n
+	a.mu.Unlock()
+}
+
+// AddSabotaged records orders settled in a swap that carried at least one
+// injected deviating party — the adversarially exercised slice of the
+// load.
+func (a *Aggregate) AddSabotaged(n int) {
+	a.mu.Lock()
+	a.ordersSabotaged += n
+	a.mu.Unlock()
+}
+
+// AddDeviation tallies one injected deviation by strategy name.
+func (a *Aggregate) AddDeviation(strategy string) {
+	a.mu.Lock()
+	a.deviations[strategy]++
 	a.mu.Unlock()
 }
 
@@ -174,7 +205,22 @@ type Throughput struct {
 	OffersSubmitted int     `json:"offers_submitted"`
 	OffersCleared   int     `json:"offers_cleared"`
 	OffersRejected  int     `json:"offers_rejected"`
-	SwapsStarted    int     `json:"swaps_started"`
+	// OffersShed counts arrivals dropped by the open-loop backstop before
+	// intake (reported by the load generator via the engine).
+	OffersShed int `json:"offers_shed"`
+	// OrdersSettled and OrdersRefunded split the terminal orders into the
+	// paper's two happy endings: Deal (the intended swap) and NoDeal (the
+	// abort path — every conforming party refunded and kept its asset).
+	// Derived from Outcomes; Discount/FreeRide/Underwater (possible only
+	// around deviating parties) are counted in neither.
+	OrdersSettled  int `json:"orders_settled"`
+	OrdersRefunded int `json:"orders_refunded"`
+	// OrdersSabotaged counts orders settled in swaps that carried at
+	// least one injected deviating party; Deviations breaks the injected
+	// deviations down by strategy name.
+	OrdersSabotaged int            `json:"orders_sabotaged"`
+	Deviations      map[string]int `json:"deviations,omitempty"`
+	SwapsStarted    int            `json:"swaps_started"`
 	SwapsFinished   int     `json:"swaps_finished"`
 	SwapsFailed     int     `json:"swaps_failed"`
 	InFlight        int     `json:"in_flight"`
@@ -210,6 +256,10 @@ func (a *Aggregate) Snapshot() Throughput {
 		OffersSubmitted: a.offersSubmitted,
 		OffersCleared:   a.offersCleared,
 		OffersRejected:  a.offersRejected,
+		OffersShed:      a.offersShed,
+		OrdersSettled:   a.outcomes["Deal"],
+		OrdersRefunded:  a.outcomes["NoDeal"],
+		OrdersSabotaged: a.ordersSabotaged,
 		SwapsStarted:    a.swapsStarted,
 		SwapsFinished:   a.swapsFinished,
 		SwapsFailed:     a.swapsFailed,
@@ -220,6 +270,12 @@ func (a *Aggregate) Snapshot() Throughput {
 	}
 	for k, v := range a.outcomes {
 		t.Outcomes[k] = v
+	}
+	if len(a.deviations) > 0 {
+		t.Deviations = make(map[string]int, len(a.deviations))
+		for k, v := range a.deviations {
+			t.Deviations[k] = v
+		}
 	}
 	if elapsed > 0 {
 		t.OffersSubmittedPerSec = float64(a.offersSubmitted) / elapsed
@@ -250,8 +306,10 @@ func (t Throughput) JSON() string {
 // String renders a human-readable multi-line summary.
 func (t Throughput) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "offers: %d submitted, %d cleared, %d rejected\n",
-		t.OffersSubmitted, t.OffersCleared, t.OffersRejected)
+	fmt.Fprintf(&b, "offers: %d submitted, %d cleared, %d rejected, %d shed\n",
+		t.OffersSubmitted, t.OffersCleared, t.OffersRejected, t.OffersShed)
+	fmt.Fprintf(&b, "orders: %d settled, %d refunded, %d sabotaged\n",
+		t.OrdersSettled, t.OrdersRefunded, t.OrdersSabotaged)
 	fmt.Fprintf(&b, "swaps:  %d finished (%d failed), peak %d concurrent\n",
 		t.SwapsFinished, t.SwapsFailed, t.PeakConcurrent)
 	fmt.Fprintf(&b, "rate:   %.1f offers/sec submitted, %.1f offers/sec cleared, %.1f swaps/sec over %.2fs\n",
