@@ -10,12 +10,19 @@
 //	swapbench -openloop-json
 //	swapbench -bench-json
 //	swapbench -scenario all [-scenario-seed N]
+//	swapbench -recovery-json
 //
 // With -scenario it runs seed-replayable adversarial scenarios (open-
 // loop load with injected deviation strategies on the deterministic
 // engine) and emits one replay-stable digest JSON line per scenario:
 // the same invocation always prints the same bytes, so CI can diff two
 // runs to prove determinism. See internal/engine/scenario.
+//
+// With -recovery-json it emits the crash-recovery point CI archives:
+// the engine-crash@tick scenario digest (kill mid-run, recover from the
+// WAL, finish on the recovered engine) with its resume/refund split and
+// measured recovery cost, plus a synthetic 10k-event log recovery that
+// must finish inside the one-second smoke bound.
 //
 // With -engine-json it instead sweeps the clearing engine at 1, 8, and 64
 // concurrent swaps and emits one JSON object per line (the BENCH
@@ -37,6 +44,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,12 +54,14 @@ import (
 	"time"
 
 	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/durable"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
 	"github.com/go-atomicswap/atomicswap/internal/engine/scenario"
 	"github.com/go-atomicswap/atomicswap/internal/expt"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
+	"github.com/go-atomicswap/atomicswap/internal/outcome"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
@@ -281,6 +291,67 @@ func runScenarios(name string, seedOffset int64) error {
 	return nil
 }
 
+// recoveryJSON emits the crash-recovery point CI archives as
+// recovery-metrics.json: the engine-crash@tick scenario digest (replay-
+// stable bytes) with its resume/refund split and measured recovery
+// cost, plus a synthetic 10k-event WAL recovery that must finish inside
+// the one-second smoke bound.
+func recoveryJSON() error {
+	sc, err := scenario.ByName("engine-crash@tick", 0)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("{\"bench\":\"scenario\",\"hash\":%q,\"digest\":%s}\n",
+		res.Digest.Hash(), res.Digest.JSON())
+	rec := res.Recovery
+	fmt.Printf("{\"bench\":\"crash_recovery\",\"scenario\":%q,\"crash_tick\":%d,"+
+		"\"events_replayed\":%d,\"orders_resumed\":%d,\"orders_refunded\":%d,\"recover_wall_ms\":%.3f}\n",
+		sc.Name, sc.CrashTick, rec.Events, rec.Resumed, rec.Refunded, rec.WallMs)
+	if n := len(res.Violations); n > 0 {
+		return fmt.Errorf("crash scenario reported %d safety violations", n)
+	}
+
+	// Synthetic scale point: a 10k-event log (5k booked+settled orders)
+	// recovered cold.
+	dir, err := os.MkdirTemp("", "swapbench-recovery-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := durable.Open(durable.Options{Dir: dir})
+	if err != nil {
+		return err
+	}
+	const events = 10_000
+	for i := 1; i <= events/2; i++ {
+		id := engine.OrderID(i)
+		st.Append(engine.Event{Kind: engine.EvBooked, Tick: vtime.Ticks(i), Order: id})
+		st.Append(engine.Event{
+			Kind: engine.EvSettled, Tick: vtime.Ticks(i + 1),
+			Order: id, Swap: "swap-000001", Class: int(outcome.Deal),
+		})
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	e, rec10k, err := durable.Recover(engine.Config{Workers: 2, Virtual: true},
+		durable.RecoverOptions{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer e.Stop(context.Background())
+	fmt.Printf("{\"bench\":\"recovery_10k\",\"events_replayed\":%d,\"recover_wall_ms\":%.3f}\n",
+		rec10k.Events, rec10k.WallMs)
+	if rec10k.WallMs >= 1000 {
+		return fmt.Errorf("10k-event recovery took %.1fms, smoke bound is 1000ms", rec10k.WallMs)
+	}
+	return nil
+}
+
 // timeOp reports the mean ns/op of fn over enough iterations to fill
 // roughly 200ms, with a floor of 10 iterations.
 func timeOp(fn func()) float64 {
@@ -376,7 +447,16 @@ func main() {
 	profileFlag := flag.String("profile", "poisson", "arrival process for -arrival-rate: constant, poisson, burst[:n], ramp[:from:to]")
 	scenarioFlag := flag.String("scenario", "", "run a deterministic adversarial scenario by name ('all' = built-in suite) and emit replay-stable digest JSON")
 	scenarioSeed := flag.Int64("scenario-seed", 0, "seed offset applied to every -scenario run (same offset ⇒ byte-identical output)")
+	recoveryFlag := flag.Bool("recovery-json", false, "emit the crash-recovery point (engine-crash@tick digest + 10k-event WAL recovery timing) as JSON and exit")
 	flag.Parse()
+
+	if *recoveryFlag {
+		if err := recoveryJSON(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scenarioFlag != "" {
 		if err := runScenarios(*scenarioFlag, *scenarioSeed); err != nil {

@@ -11,6 +11,16 @@
 //	      [-clear-ahead 64] [-seed 1] [-json]
 //	swapd -arrival-rate 2000 [-profile poisson] [-party-pool 64]
 //	      [-max-pending 4096] ...
+//	swapd -data-dir /tmp/swapd [-snapshot-every 4096] ...
+//
+// With -data-dir the engine logs every event to a durable write-ahead
+// log (with periodic snapshot truncation) in that directory. On a
+// restart against the same directory swapd recovers instead of starting
+// fresh: the log is replayed, each swap that was in flight at the kill
+// is resumed or refunded by its logged phase and remaining timelock
+// budget, and the run continues with recovery counters in the report.
+// Kill-and-restart demo: start a long run with -data-dir, `kill -9` it
+// mid-flight, re-run the same command, and watch the recovery line.
 //
 // By default the whole book is submitted up front (closed loop). With
 // -arrival-rate offers instead stream in open-loop from the -profile
@@ -25,6 +35,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +45,7 @@ import (
 
 	"github.com/go-atomicswap/atomicswap/internal/chain"
 	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/durable"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
@@ -80,6 +92,33 @@ func runOpenLoop(eng *engine.Engine, rate float64, profile string,
 	}
 }
 
+// durableEngine builds the -data-dir engine: recover from the
+// directory when it holds state (a restart), otherwise open a fresh
+// store and log into it. Either way the engine keeps appending, so the
+// next kill-and-restart recovers again.
+func durableEngine(cfg engine.Config, dir string, snapEvery int) (*engine.Engine, error) {
+	eng, rec, err := durable.Recover(cfg, durable.RecoverOptions{
+		Dir:           dir,
+		Attach:        true,
+		SnapshotEvery: snapEvery,
+	})
+	if err == nil {
+		fmt.Fprintf(os.Stderr,
+			"recovered %s: %d events replayed, %d orders resumed, %d refunded, resuming at tick %d (%.1fms)\n",
+			dir, rec.Events, rec.Resumed, rec.Refunded, rec.Tick, rec.WallMs)
+		return eng, nil
+	}
+	if !errors.Is(err, durable.ErrNoState) {
+		return nil, err
+	}
+	store, err := durable.Open(durable.Options{Dir: dir, SnapshotEvery: snapEvery})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Store = store
+	return engine.New(cfg), nil
+}
+
 func main() {
 	var (
 		offers    = flag.Int("offers", 3000, "approximate number of offers to submit")
@@ -103,6 +142,9 @@ func main() {
 		profile     = flag.String("profile", "poisson", "arrival process for -arrival-rate: constant, poisson, burst[:n], ramp[:from:to]")
 		partyPool   = flag.Int("party-pool", 0, "open-loop: reuse this many ring-group identities (0 = fresh parties per ring)")
 		maxPending  = flag.Int("max-pending", 0, "open-loop shed threshold on the pending book (0 = default, negative = never shed)")
+
+		dataDir   = flag.String("data-dir", "", "durable state directory: log engine events to a WAL and recover from it on restart")
+		snapEvery = flag.Int("snapshot-every", 4096, "with -data-dir, snapshot and truncate the WAL every N events")
 	)
 	flag.Parse()
 	if *ringMin < 2 || *ringMax < *ringMin {
@@ -112,7 +154,7 @@ func main() {
 		log.Fatal("-conflicts is a closed-loop feature; drop it or -arrival-rate")
 	}
 
-	eng := engine.New(engine.Config{
+	cfg := engine.Config{
 		Workers:       *workers,
 		MaxBatch:      4096,
 		Tick:          *tick,
@@ -124,7 +166,16 @@ func main() {
 		MinDelta:      vtime.Duration(*minDelta),
 		MaxDelta:      vtime.Duration(*maxDelta),
 		MaxClearAhead: *clrAhead,
-	})
+	}
+	var eng *engine.Engine
+	if *dataDir != "" {
+		var err error
+		if eng, err = durableEngine(cfg, *dataDir, *snapEvery); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		eng = engine.New(cfg)
+	}
 	if err := eng.Start(); err != nil {
 		log.Fatal(err)
 	}
@@ -177,7 +228,14 @@ func main() {
 	if err := eng.Stop(ctx); err != nil {
 		log.Fatalf("drain: %v", err)
 	}
-	if err := eng.VerifyConservation(); err != nil {
+	// A recovered engine is held to ledger integrity, not strict
+	// conservation: a hard kill mid-settlement can orphan an escrowed
+	// leg by design (see internal/durable).
+	audit, auditName := eng.VerifyConservation, "conservation"
+	if eng.Recovered() {
+		audit, auditName = eng.VerifyLedgerIntegrity, "ledger integrity"
+	}
+	if err := audit(); err != nil {
 		log.Fatalf("CONSERVATION VIOLATED: %v", err)
 	}
 
@@ -186,8 +244,8 @@ func main() {
 		fmt.Println(rep.JSON())
 		return
 	}
-	fmt.Printf("load: %d offers submitted (%d refused at intake), conservation verified\n\n",
-		submitted, rejected)
+	fmt.Printf("load: %d offers submitted (%d refused at intake), %s verified\n\n",
+		submitted, rejected, auditName)
 	fmt.Println(rep)
 	if rep.SwapsFailed > 0 {
 		os.Exit(1)

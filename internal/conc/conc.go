@@ -86,6 +86,26 @@ type Config struct {
 	// order — which is what makes an engine run seed-replayable. Pointless
 	// (and a throughput hazard) on real or concurrent-virtual schedulers.
 	SyncDeliveries bool
+	// OnPhase, when set, observes the run's coarse phase transitions —
+	// the durable engine's crash-recovery log hook. Each phase fires at
+	// most once per run: "start" when the run is prepared, "escrow" when
+	// the first of this swap's contracts is published, "reveal" when the
+	// first secret leaves a party (unlock, redeem, or broadcast). The
+	// callback runs on scheduler or chain-observer goroutines; it must be
+	// cheap and must not call back into the run.
+	OnPhase func(ev PhaseEvent)
+}
+
+// PhaseEvent is one coarse protocol phase transition (see Config.OnPhase).
+type PhaseEvent struct {
+	// Phase is "start", "escrow", or "reveal".
+	Phase string
+	// At is the virtual tick the transition was observed at.
+	At vtime.Ticks
+	// Deadline is the swap's max timelock — by when every conforming
+	// party's assets are settled or refundable. Recovery measures its
+	// remaining budget against this.
+	Deadline vtime.Ticks
 }
 
 // Result reports a finished concurrent run.
@@ -159,6 +179,7 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 		resClaim: make(map[int]bool),
 		done:     make(chan struct{}),
 		cids:     make(map[chain.ContractID]int, spec.D.NumArcs()),
+		onPhase:  cfg.OnPhase,
 	}
 
 	// Setup runs under a hold: under virtual time the clock must not jump
@@ -169,6 +190,11 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 		spec.SetStart(scheduler.Now().Add(cfg.StartOffset))
 	}
 	spec.Precompute()
+	r.deadline = spec.MaxTimelock()
+	// The "start" phase is stamped with the tick it is logged at (now,
+	// inside the hold) — not spec.Start, which lies in the future and
+	// would let a pre-crash log record carry a post-crash tick.
+	r.notePhase("start")
 
 	for id := 0; id < spec.D.NumArcs(); id++ {
 		r.cids[spec.ContractID(id)] = id
@@ -335,6 +361,13 @@ type runner struct {
 	// keeps a run deaf to other swaps sharing the same chains.
 	cids map[chain.ContractID]int
 
+	// onPhase reports coarse phase transitions (Config.OnPhase); deadline
+	// is the spec's max timelock, fixed at Prepare. phaseSeen (under mu)
+	// makes each phase fire at most once.
+	onPhase   func(PhaseEvent)
+	deadline  vtime.Ticks
+	phaseSeen map[string]bool
+
 	parties []*party
 
 	// timers tracks this run's outstanding scheduler timers so teardown
@@ -470,6 +503,25 @@ func (r *runner) setResolved(arcID int, claimed bool) {
 	}
 }
 
+// notePhase reports one coarse phase transition through Config.OnPhase,
+// at most once per run per phase. Safe from any goroutine.
+func (r *runner) notePhase(phase string) {
+	if r.onPhase == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.phaseSeen == nil {
+		r.phaseSeen = make(map[string]bool, 3)
+	}
+	if r.phaseSeen[phase] {
+		r.mu.Unlock()
+		return
+	}
+	r.phaseSeen[phase] = true
+	r.mu.Unlock()
+	r.onPhase(PhaseEvent{Phase: phase, At: r.sched.Now(), Deadline: r.deadline})
+}
+
 func (r *runner) getResolved(arcID int) (bool, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -510,6 +562,7 @@ func (r *runner) onNote(n chain.Notification) {
 		if !mine {
 			return // another swap's contract on a shared chain
 		}
+		r.notePhase("escrow")
 		deliverIncident(arcID, func(b core.Behavior, e core.Env) { b.OnContract(e, arcID, c) })
 	case chain.NoteInvocation:
 		if _, mine := r.cids[n.Contract]; !mine {
@@ -517,10 +570,12 @@ func (r *runner) onNote(n chain.Notification) {
 		}
 		switch ev := n.Event.(type) {
 		case htlc.UnlockedEvent:
+			r.notePhase("reveal")
 			deliverIncident(ev.ArcID, func(b core.Behavior, e core.Env) {
 				b.OnUnlock(e, ev.ArcID, ev.LockIndex, ev.Key)
 			})
 		case htlc.RedeemedEvent:
+			r.notePhase("reveal")
 			deliverIncident(ev.ArcID, func(b core.Behavior, e core.Env) {
 				b.OnRedeem(e, ev.ArcID, ev.Secret)
 			})
@@ -548,6 +603,7 @@ func (r *runner) onNote(n chain.Notification) {
 		if !ok || msg.Tag != r.spec.Tag {
 			return // another swap's secret on the shared broadcast chain
 		}
+		r.notePhase("reveal")
 		at := n.At.Add(delta)
 		for _, p := range r.parties {
 			p := p

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/ed25519"
 	"fmt"
 	"io"
 	"sort"
@@ -27,6 +28,11 @@ type Keyring struct {
 	mu   sync.RWMutex
 	rand io.Reader
 	keys map[chain.PartyID]*hashkey.Signer
+	// onCreate, when set, observes every freshly generated identity with
+	// the ed25519 seed it derives from — the durable-store hook that makes
+	// identities recoverable. Called under the keyring lock; it must not
+	// call back into the keyring.
+	onCreate func(p chain.PartyID, seed []byte)
 }
 
 // NewKeyring creates an empty keyring drawing key material from r
@@ -53,12 +59,51 @@ func (k *Keyring) Ensure(p chain.PartyID) (*hashkey.Signer, error) {
 	if s, ok := k.keys[p]; ok {
 		return s, nil
 	}
-	s, err := hashkey.NewSigner(0, k.rand)
+	// Draw the ed25519 seed explicitly instead of letting GenerateKey read
+	// it: ed25519.GenerateKey consumes exactly SeedSize bytes, so this
+	// leaves the randomness stream bit-identical to the pre-durability
+	// behavior (deterministic replays are unchanged) while giving the
+	// onCreate hook the persisted form of the identity.
+	seed := make([]byte, ed25519.SeedSize)
+	if _, err := io.ReadFull(k.rand, seed); err != nil {
+		return nil, fmt.Errorf("core: keyring: drawing seed for %s: %w", p, err)
+	}
+	s, err := hashkey.NewSignerFromSeed(0, seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: keyring: generating identity for %s: %w", p, err)
 	}
 	k.keys[p] = s
+	if k.onCreate != nil {
+		k.onCreate(p, seed)
+	}
 	return s, nil
+}
+
+// OnCreate registers a callback observing every identity generated from
+// here on (party plus ed25519 seed). The durable engine wires this to its
+// write-ahead log so identities survive a crash. Restore does not fire
+// it — a restored identity is already logged.
+func (k *Keyring) OnCreate(fn func(p chain.PartyID, seed []byte)) {
+	k.mu.Lock()
+	k.onCreate = fn
+	k.mu.Unlock()
+}
+
+// Restore installs a previously persisted identity from its ed25519 seed.
+// An identity the keyring already holds is left untouched (restore is
+// idempotent); the onCreate hook is not invoked.
+func (k *Keyring) Restore(p chain.PartyID, seed []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.keys[p]; ok {
+		return nil
+	}
+	s, err := hashkey.NewSignerFromSeed(0, seed)
+	if err != nil {
+		return fmt.Errorf("core: keyring: restoring identity for %s: %w", p, err)
+	}
+	k.keys[p] = s
+	return nil
 }
 
 // SignerFor returns the party's persistent identity bound to vertex v,

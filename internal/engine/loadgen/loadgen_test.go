@@ -354,3 +354,45 @@ func TestRunContextCancel(t *testing.T) {
 		t.Fatalf("Stop after cancel: %v", err)
 	}
 }
+
+// TestCancelledRunBalancesAccounting pins the aborted-run invariant:
+// arrivals whose timers never fire — the schedule was cancelled under
+// them — are counted as refused, so Offered == Submitted + Shed +
+// Refused holds on every exit path, not just clean completions.
+func TestCancelledRunBalancesAccounting(t *testing.T) {
+	ecfg := engine.Config{
+		Workers:       2,
+		ClearInterval: time.Millisecond,
+		Tick:          time.Millisecond,
+		Delta:         20,
+		Seed:          42,
+	}
+	e := engine.New(ecfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		e.Stop(ctx)
+	}()
+
+	// A real-time schedule spread over ~10s of wall clock, cancelled
+	// before it starts: almost every arrival timer is stopped unfired.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := Run(ctx, e, Config{Offers: 30, Rate: 3, Seed: 9})
+	if err == nil {
+		t.Fatalf("cancelled run returned nil error")
+	}
+	if st.Offered == 0 {
+		t.Fatalf("no offers generated")
+	}
+	if got := st.Submitted + st.Shed + st.Refused; got != st.Offered {
+		t.Errorf("accounting leak on cancel: offered %d != submitted %d + shed %d + refused %d",
+			st.Offered, st.Submitted, st.Shed, st.Refused)
+	}
+	if st.Refused == 0 {
+		t.Errorf("cancelled schedule counted no refusals (submitted=%d shed=%d)", st.Submitted, st.Shed)
+	}
+}

@@ -37,6 +37,17 @@ type Digest struct {
 	OrdersSabotaged int            `json:"orders_sabotaged"`
 	Deviations      map[string]int `json:"deviations,omitempty"`
 
+	// ClearRounds counts live clearing rounds (rounds that had work to
+	// look at) across the run — both engine lives on a crash run.
+	// LastSettleTick is the latest settle tick. Together they are the
+	// replay budget the scenario can pin (Scenario.MaxClearRounds /
+	// MaxSettleTick).
+	ClearRounds    int   `json:"clear_rounds"`
+	LastSettleTick int64 `json:"last_settle_tick"`
+
+	// Crash summarizes the kill-and-recover step of a CrashTick run.
+	Crash *CrashDigest `json:"crash,omitempty"`
+
 	// DeltaTrajectory is the adaptive-Δ controller's decision series in
 	// tick units (wall timestamps stripped).
 	DeltaTrajectory []DeltaStep `json:"delta_trajectory,omitempty"`
@@ -52,6 +63,17 @@ type Digest struct {
 	Conservation string `json:"conservation"`
 	Safety       string `json:"safety"`
 	Violations   int    `json:"violations"`
+}
+
+// CrashDigest is the replay-stable face of a crash run's recovery:
+// the kill tick, what the WAL replay folded, and how the in-flight
+// swaps were split between resume and refund. Wall-clock recovery cost
+// lives in Result.Recovery, not here.
+type CrashDigest struct {
+	Tick     int64 `json:"tick"`
+	Replayed int   `json:"events_replayed"`
+	Resumed  int   `json:"orders_resumed"`
+	Refunded int   `json:"orders_refunded"`
 }
 
 // DeltaStep is one adaptive-Δ decision, tick-domain fields only.
@@ -90,7 +112,8 @@ func (d Digest) Hash() string {
 
 // buildDigest assembles the canonical summary from the run's parts.
 func buildDigest(sc Scenario, load loadgen.Stats, rep metrics.Throughput,
-	orders []engine.OrderSnapshot, violations []Violation, conservation string) Digest {
+	orders []engine.OrderSnapshot, violations []Violation, conservation string,
+	clearRounds int, crash *CrashDigest) Digest {
 
 	d := Digest{
 		Scenario:        sc.Name,
@@ -107,6 +130,9 @@ func buildDigest(sc Scenario, load loadgen.Stats, rep metrics.Throughput,
 		Outcomes:        rep.Outcomes,
 		OrdersSabotaged: rep.OrdersSabotaged,
 		Deviations:      rep.Deviations,
+		ClearRounds:     clearRounds,
+		LastSettleTick:  int64(lastSettleTick(orders)),
+		Crash:           crash,
 		Conservation:    conservation,
 		Safety:          "ok",
 		Violations:      len(violations),

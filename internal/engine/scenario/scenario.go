@@ -32,6 +32,7 @@ import (
 
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/durable"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
 	"github.com/go-atomicswap/atomicswap/internal/metrics"
@@ -88,6 +89,24 @@ type Scenario struct {
 
 	// Deviations is the adversarial mix injected into the stream.
 	Deviations []Deviation `json:"deviations,omitempty"`
+
+	// CrashTick, when positive, turns the run into a crash-recovery
+	// experiment: the engine runs with a durable write-ahead log, is
+	// killed at this virtual tick (Engine.Kill — intake and clearing
+	// stop, nothing drains), and a second engine is recovered from the
+	// log with the kill tick as the replay cut. The digest then covers
+	// the whole two-life run — recovered orders, resumed swaps, refunds —
+	// and must still be a pure function of the seed.
+	CrashTick vtime.Ticks `json:"crash_tick,omitempty"`
+
+	// MaxClearRounds and MaxSettleTick are replay budgets pinned per
+	// scenario: the run must finish within this many live clearing rounds
+	// and settle its last order by this tick. Exceeding either is a
+	// Violation (and therefore a digest change) — a scheduling regression
+	// that slows clearing or stretches settles fails the suite even when
+	// every safety property still holds. Zero disables the check.
+	MaxClearRounds int         `json:"max_clear_rounds,omitempty"`
+	MaxSettleTick  vtime.Ticks `json:"max_settle_tick,omitempty"`
 }
 
 // Violation is one failed safety check.
@@ -112,6 +131,10 @@ type Result struct {
 	Load loadgen.Stats
 	// Violations lists every failed safety check (empty on a good run).
 	Violations []Violation
+	// Recovery reports the kill-and-recover step of a CrashTick run
+	// (nil otherwise). Wall-clock fields are not replay-stable; the
+	// digest carries only its tick/count facts.
+	Recovery *durable.Recovery
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -207,6 +230,39 @@ func (sc Scenario) factory() engine.BehaviorFactory {
 	}
 }
 
+// engineConfig is the scenario's engine shape — shared by the normal
+// path and both lives of a crash run, so a recovered engine replays
+// under exactly the knobs the original ran with.
+func (sc Scenario) engineConfig() engine.Config {
+	return engine.Config{
+		Workers:       sc.Workers,
+		Tick:          time.Millisecond,
+		Delta:         sc.Delta,
+		ClearEvery:    sc.ClearEvery,
+		AdaptiveDelta: sc.AdaptiveDelta,
+		Seed:          sc.Seed,
+		Deterministic: true,
+		Behaviors:     sc.factory(),
+		// Deterministic mode forgoes clear-ahead backpressure, so the job
+		// queue must hold every swap the book can produce.
+		QueueDepth: sc.Offers + 64,
+	}
+}
+
+// loadConfig is the scenario's open-loop generator shape.
+func (sc Scenario) loadConfig(process loadgen.Process) loadgen.Config {
+	return loadgen.Config{
+		Offers:     sc.Offers,
+		RingMin:    sc.RingMin,
+		RingMax:    sc.RingMax,
+		Rate:       sc.Rate,
+		Process:    process,
+		PartyPool:  sc.PartyPool,
+		MaxPending: sc.MaxPending,
+		Seed:       sc.Seed,
+	}
+}
+
 // Run executes the scenario once and returns its result. The error is
 // for harness failures (bad scenario, engine refusing to run); safety
 // findings go into Result.Violations and the digest, so callers can
@@ -220,35 +276,17 @@ func Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}
+	if sc.CrashTick > 0 {
+		return runCrash(sc, process)
+	}
 
-	e := engine.New(engine.Config{
-		Workers:       sc.Workers,
-		Tick:          time.Millisecond,
-		Delta:         sc.Delta,
-		ClearEvery:    sc.ClearEvery,
-		AdaptiveDelta: sc.AdaptiveDelta,
-		Seed:          sc.Seed,
-		Deterministic: true,
-		Behaviors:     sc.factory(),
-		// Deterministic mode forgoes clear-ahead backpressure, so the job
-		// queue must hold every swap the book can produce.
-		QueueDepth: sc.Offers + 64,
-	})
+	e := engine.New(sc.engineConfig())
 	if err := e.Start(); err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
-	stats, err := loadgen.Run(ctx, e, loadgen.Config{
-		Offers:     sc.Offers,
-		RingMin:    sc.RingMin,
-		RingMax:    sc.RingMax,
-		Rate:       sc.Rate,
-		Process:    process,
-		PartyPool:  sc.PartyPool,
-		MaxPending: sc.MaxPending,
-		Seed:       sc.Seed,
-	})
+	stats, err := loadgen.Run(ctx, e, sc.loadConfig(process))
 	if err != nil {
 		e.Stop(ctx)
 		return nil, fmt.Errorf("scenario %q: load: %w", sc.Name, err)
@@ -278,8 +316,35 @@ func Run(sc Scenario) (*Result, error) {
 		res.Violations = append(res.Violations, Violation{Detail: "conservation: " + err.Error()})
 	}
 
-	res.Digest = buildDigest(sc, stats, res.Report, orders, res.Violations, conservation)
+	rounds := e.ClearRounds()
+	res.Violations = append(res.Violations, sc.budgetViolations(rounds, orders)...)
+	res.Digest = buildDigest(sc, stats, res.Report, orders, res.Violations, conservation, rounds, nil)
 	return res, nil
+}
+
+// budgetViolations applies the scenario's pinned replay budgets.
+func (sc Scenario) budgetViolations(rounds int, orders []engine.OrderSnapshot) []Violation {
+	var out []Violation
+	if sc.MaxClearRounds > 0 && rounds > sc.MaxClearRounds {
+		out = append(out, Violation{Detail: fmt.Sprintf(
+			"budget: %d live clearing rounds > pinned max %d", rounds, sc.MaxClearRounds)})
+	}
+	if last := lastSettleTick(orders); sc.MaxSettleTick > 0 && last > sc.MaxSettleTick {
+		out = append(out, Violation{Detail: fmt.Sprintf(
+			"budget: last settle at tick %d > pinned max %d", last, sc.MaxSettleTick)})
+	}
+	return out
+}
+
+// lastSettleTick is the latest settle tick across the run's orders.
+func lastSettleTick(orders []engine.OrderSnapshot) vtime.Ticks {
+	var last vtime.Ticks
+	for _, o := range orders {
+		if o.Status == engine.StatusSettled && o.SettledTick > last {
+			last = o.SettledTick
+		}
+	}
+	return last
 }
 
 // checkSafety applies the paper's uniformity invariant to every settled

@@ -7,15 +7,24 @@ import "fmt"
 // CI replays it twice and diffs the digests, and future perf PRs
 // inherit it as a fixed adversarial regression set. The seed offset
 // shifts every scenario's seed, so one flag re-rolls the whole corpus.
+//
+// Every entry pins replay budgets (MaxClearRounds, MaxSettleTick):
+// measured values for the pinned seed plus roughly 50% headroom, so a
+// scheduling regression that slows clearing or stretches settles fails
+// the suite even while all safety properties still hold. Re-measure
+// (run the suite, read Digest.ClearRounds / LastSettleTick) and re-pin
+// when a PR intentionally changes the schedule.
 func Suite(seedOffset int64) []Scenario {
 	return []Scenario{
 		{
 			// The conforming baseline: every swap must Deal.
-			Name:    "conforming-poisson",
-			Seed:    101 + seedOffset,
-			Offers:  48,
-			Rate:    2000,
-			Profile: "poisson",
+			Name:           "conforming-poisson",
+			Seed:           101 + seedOffset,
+			Offers:         48,
+			Rate:           2000,
+			Profile:        "poisson",
+			MaxClearRounds: 115, // measured 75
+			MaxSettleTick:  125, // measured 81
 		},
 		{
 			// The paper's griefing attack at scale: a quarter of parties
@@ -30,6 +39,8 @@ func Suite(seedOffset int64) []Scenario {
 				{Strategy: "silent-leader", Rate: 0.15},
 				{Strategy: "stall-past-timelock", Rate: 0.10},
 			},
+			MaxClearRounds: 120, // measured 78
+			MaxSettleTick:  150, // measured 99
 		},
 		{
 			// Crash/abort interleavings under bursty load — the AC3-style
@@ -45,6 +56,8 @@ func Suite(seedOffset int64) []Scenario {
 				{Strategy: "crash", Rate: 0.10},
 				{Strategy: "no-claim", Rate: 0.05},
 			},
+			MaxClearRounds: 110, // measured 72
+			MaxSettleTick:  220, // measured 144
 		},
 		{
 			// Everything at once on a climbing ramp with adaptive Δ: six
@@ -66,6 +79,26 @@ func Suite(seedOffset int64) []Scenario {
 				{Strategy: "corrupt-publish", Rate: 0.06},
 				{Strategy: "eager-publish", Rate: 0.06},
 			},
+			MaxClearRounds: 130, // measured 86
+			MaxSettleTick:  260, // measured 173
+		},
+		{
+			// Kill the engine mid-clearing and recover from the WAL: the
+			// crash lands while swaps are in flight — some resume, some
+			// refund on spent timelock budget — so the digest witnesses the
+			// whole two-life arc and must still replay byte-identically
+			// from the seed.
+			Name:      "engine-crash@tick",
+			Seed:      606 + seedOffset,
+			Offers:    48,
+			Rate:      2500,
+			Profile:   "poisson",
+			CrashTick: 50, // mid-execution: 36 swaps resume, 12 refund
+			Deviations: []Deviation{
+				{Strategy: "silent-leader", Rate: 0.1},
+			},
+			MaxClearRounds: 135, // measured 89, both lives
+			MaxSettleTick:  175, // measured 115
 		},
 		{
 			// Overload: arrivals far beyond capacity against a tiny shed
@@ -79,6 +112,8 @@ func Suite(seedOffset int64) []Scenario {
 			Deviations: []Deviation{
 				{Strategy: "silent-leader", Rate: 0.2},
 			},
+			MaxClearRounds: 100, // measured 65
+			MaxSettleTick:  95,  // measured 61
 		},
 	}
 }

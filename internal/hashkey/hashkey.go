@@ -76,6 +76,28 @@ func NewSigner(vertex digraph.Vertex, r io.Reader) (*Signer, error) {
 	return &Signer{vertex: vertex, pub: pub, priv: priv}, nil
 }
 
+// NewSignerFromSeed rebuilds a signing identity from a stored 32-byte
+// ed25519 seed. ed25519.GenerateKey draws exactly SeedSize bytes from its
+// reader and derives the keypair from them, so a signer rebuilt from the
+// seed those bytes became is bit-identical to the one originally
+// generated — the property the durable keyring persistence rests on.
+func NewSignerFromSeed(vertex digraph.Vertex, seed []byte) (*Signer, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("hashkey: seed for vertex %d is %d bytes, want %d",
+			vertex, len(seed), ed25519.SeedSize)
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &Signer{
+		vertex: vertex,
+		pub:    priv.Public().(ed25519.PublicKey),
+		priv:   priv,
+	}, nil
+}
+
+// Seed returns the 32-byte ed25519 seed this identity derives from — the
+// persisted form of a signer (see NewSignerFromSeed).
+func (s *Signer) Seed() []byte { return s.priv.Seed() }
+
 // Vertex returns the vertex this identity signs for.
 func (s *Signer) Vertex() digraph.Vertex { return s.vertex }
 

@@ -36,6 +36,12 @@ type Aggregate struct {
 	latencySum   time.Duration
 	latencyMax   time.Duration
 	latencyHist  Histogram
+	// windowHist shadows latencyHist but is consumed (and reset) by
+	// TakeLatencyWindow, giving live dashboards reset-on-read percentiles
+	// over just the interval since the last read instead of since start.
+	windowHist Histogram
+
+	recovery *RecoveryStats
 
 	reservationConflicts int
 
@@ -146,8 +152,100 @@ func (a *Aggregate) AddOutcome(class string, latency time.Duration) {
 	a.latencyCount++
 	a.latencySum += latency
 	a.latencyHist.Record(latency)
+	a.windowHist.Record(latency)
 	if latency > a.latencyMax {
 		a.latencyMax = latency
+	}
+}
+
+// LatencyWindow summarizes the settle latencies observed since the last
+// TakeLatencyWindow call: reset-on-read percentiles for live reporting,
+// where the cumulative since-start percentiles would smear a regression
+// across the whole run's history.
+type LatencyWindow struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// TakeLatencyWindow reports percentiles over the settles recorded since
+// the previous call, then resets the window. The cumulative histogram
+// behind Snapshot is untouched.
+func (a *Aggregate) TakeLatencyWindow() LatencyWindow {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := LatencyWindow{Count: int(a.windowHist.Count())}
+	if w.Count > 0 {
+		w.P50Ms = a.windowHist.Quantile(0.50).Seconds() * 1000
+		w.P95Ms = a.windowHist.Quantile(0.95).Seconds() * 1000
+		w.P99Ms = a.windowHist.Quantile(0.99).Seconds() * 1000
+		w.MaxMs = a.windowHist.Max().Seconds() * 1000
+	}
+	a.windowHist.Reset()
+	return w
+}
+
+// RecoveryStats describes one crash recovery: how much log was replayed,
+// how the in-flight swaps were resolved, and how long the rebuild took.
+type RecoveryStats struct {
+	// Replayed is the number of WAL events folded (snapshot events count
+	// once, at snapshot time).
+	Replayed int `json:"events_replayed"`
+	// Resumed and Refunded split the orders that were in flight at the
+	// crash: resumed ones re-entered the book, refunded ones settled
+	// NoDeal at the recovery tick.
+	Resumed  int `json:"orders_resumed"`
+	Refunded int `json:"orders_refunded"`
+	// WallMs is the wall-clock cost of the whole recovery (read + fold +
+	// engine rebuild).
+	WallMs float64 `json:"wall_ms"`
+}
+
+// SetRecovery attaches crash-recovery stats to the aggregate; they ride
+// along in every subsequent Snapshot.
+func (a *Aggregate) SetRecovery(rs RecoveryStats) {
+	a.mu.Lock()
+	cp := rs
+	a.recovery = &cp
+	a.mu.Unlock()
+}
+
+// RestoredCounts carries the counters a recovered engine inherits from
+// its pre-crash life; Restore folds them into a fresh aggregate so the
+// post-recovery totals continue the pre-crash series.
+type RestoredCounts struct {
+	Submitted     int
+	Cleared       int
+	Rejected      int
+	Shed          int
+	SwapsStarted  int
+	SwapsFinished int
+	Sabotaged     int
+	Outcomes      map[string]int
+	Deviations    map[string]int
+}
+
+// Restore seeds the aggregate with pre-crash counters. Latency history
+// is deliberately not restorable — wall-clock durations from a previous
+// process are meaningless in this one — so restored runs report latency
+// over post-recovery settles only.
+func (a *Aggregate) Restore(rc RestoredCounts) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.offersSubmitted += rc.Submitted
+	a.offersCleared += rc.Cleared
+	a.offersRejected += rc.Rejected
+	a.offersShed += rc.Shed
+	a.swapsStarted += rc.SwapsStarted
+	a.swapsFinished += rc.SwapsFinished
+	a.ordersSabotaged += rc.Sabotaged
+	for k, v := range rc.Outcomes {
+		a.outcomes[k] += v
+	}
+	for k, v := range rc.Deviations {
+		a.deviations[k] += v
 	}
 }
 
@@ -221,10 +319,10 @@ type Throughput struct {
 	OrdersSabotaged int            `json:"orders_sabotaged"`
 	Deviations      map[string]int `json:"deviations,omitempty"`
 	SwapsStarted    int            `json:"swaps_started"`
-	SwapsFinished   int     `json:"swaps_finished"`
-	SwapsFailed     int     `json:"swaps_failed"`
-	InFlight        int     `json:"in_flight"`
-	PeakConcurrent  int     `json:"peak_concurrent"`
+	SwapsFinished   int            `json:"swaps_finished"`
+	SwapsFailed     int            `json:"swaps_failed"`
+	InFlight        int            `json:"in_flight"`
+	PeakConcurrent  int            `json:"peak_concurrent"`
 	// OffersSubmittedPerSec is intake rate; OffersClearedPerSec is the
 	// rate at which offers were matched into swaps. They differ whenever
 	// offers are rejected or still pending — reporting both is what makes
@@ -244,6 +342,8 @@ type Throughput struct {
 	DeltaTrajectory []DeltaPoint   `json:"delta_trajectory,omitempty"`
 	Outcomes        map[string]int `json:"outcomes"`
 	ResvConflicts   int            `json:"reservation_conflicts"`
+	// Recovery is present only on engines rebuilt from a durable store.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
 
 // Snapshot captures the aggregate now.
@@ -267,6 +367,10 @@ func (a *Aggregate) Snapshot() Throughput {
 		PeakConcurrent:  a.peakInflight,
 		Outcomes:        make(map[string]int, len(a.outcomes)),
 		ResvConflicts:   a.reservationConflicts,
+	}
+	if a.recovery != nil {
+		cp := *a.recovery
+		t.Recovery = &cp
 	}
 	for k, v := range a.outcomes {
 		t.Outcomes[k] = v
@@ -316,6 +420,10 @@ func (t Throughput) String() string {
 		t.OffersSubmittedPerSec, t.OffersClearedPerSec, t.SwapsPerSec, t.ElapsedSec)
 	fmt.Fprintf(&b, "latency: avg %.2fms, p50 %.2fms, p95 %.2fms, p99 %.2fms, max %.2fms\n",
 		t.AvgLatencyMs, t.P50LatencyMs, t.P95LatencyMs, t.P99LatencyMs, t.MaxLatencyMs)
+	if r := t.Recovery; r != nil {
+		fmt.Fprintf(&b, "recovery: %d events replayed, %d orders resumed, %d refunded, %.1fms wall\n",
+			r.Replayed, r.Resumed, r.Refunded, r.WallMs)
+	}
 	if n := len(t.DeltaTrajectory); n > 0 {
 		last := t.DeltaTrajectory[n-1]
 		fmt.Fprintf(&b, "delta:  %d adaptations recorded, final Δ=%d ticks (window ewma %.2f, max %d, %d samples)\n",

@@ -73,6 +73,13 @@ func (h *Histogram) Record(d time.Duration) {
 	h.count++
 }
 
+// Reset discards every recorded observation, returning the histogram to
+// its empty state. Windowed percentile reporting is Record between
+// reads, Quantile at the read, then Reset.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}
+
 // Count reports the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
