@@ -61,6 +61,7 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/expt"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
 	"github.com/go-atomicswap/atomicswap/internal/outcome"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
@@ -262,9 +263,10 @@ func openLoopTrajectory() error {
 // suite) deterministically and prints one replay-stable JSON line per
 // run: the canonical digest plus its sha256 fingerprint. Two
 // invocations with the same arguments must emit byte-identical output —
-// the CI replay job diffs exactly that. A safety violation fails the
-// command.
-func runScenarios(name string, seedOffset int64) error {
+// the CI replay job diffs exactly that, and diffs a -scenario-parallel
+// run against the serial one too (parallel dispatch is an execution
+// knob, not a schedule knob). A safety violation fails the command.
+func runScenarios(name string, seedOffset int64, parallel bool) error {
 	var scs []scenario.Scenario
 	if name == "all" {
 		scs = scenario.Suite(seedOffset)
@@ -277,6 +279,7 @@ func runScenarios(name string, seedOffset int64) error {
 	}
 	violations := 0
 	for _, sc := range scs {
+		sc.Parallel = parallel
 		res, err := scenario.Run(sc)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)
@@ -420,6 +423,78 @@ func keyringMicro() {
 
 // benchJSON emits the full trajectory point: micro-benchmarks plus the
 // engine sweep in all three time modes, one JSON object per line.
+// parallelSweep is the BENCH_04 measurement: a worker ladder crossed with
+// the three scheduler modes — serial-det (Deterministic: serialized
+// virtual dispatch), parallel-det (striped parallel dispatch with the
+// per-tick barrier, digest-identical to serial-det), and concurrent (the
+// free-running virtual scheduler, BENCH_02's mode) — on the vtime load
+// shape: 3-party rings over a worker-sized party pool. Each point also
+// carries a batch-verify-off ablation at the top worker count, and the
+// ladder ends with the BENCH_02-comparable point (32 rings at 8 workers,
+// concurrent) so the trajectory stays honest. Every point reports the
+// best of `repeat` runs: throughput points measure capability, and on a
+// shared box the max is the least noisy estimator of it.
+func parallelSweep(repeat, ringsPerWorker int) error {
+	if repeat < 1 {
+		repeat = 1
+	}
+	type mode struct {
+		name string
+		mut  func(cfg *engine.Config)
+	}
+	modes := []mode{
+		{"serial-det", func(cfg *engine.Config) { cfg.Deterministic = true }},
+		{"parallel-det", func(cfg *engine.Config) { cfg.Parallel = true }},
+		{"concurrent", func(cfg *engine.Config) { cfg.Virtual = true }},
+	}
+	run := func(name string, workers, rings int, batch bool, mut func(cfg *engine.Config)) error {
+		var best *metrics.Throughput
+		for r := 0; r < repeat; r++ {
+			cfg := engine.Config{
+				Workers:            workers,
+				Tick:               time.Millisecond,
+				Delta:              vtime.Duration(20),
+				ClearInterval:      time.Millisecond,
+				MaxBatch:           4096,
+				Seed:               int64(workers + r),
+				DisableBatchVerify: !batch,
+			}
+			mut(&cfg)
+			rep, err := engine.RunLoad(cfg, rings, 3, engine.WithPartyPool(workers))
+			if err != nil {
+				return fmt.Errorf("parallel sweep %s at %d workers: %w", name, workers, err)
+			}
+			if rep.SwapsFinished != rings || rep.SwapsFailed != 0 {
+				return fmt.Errorf("parallel sweep %s at %d workers: %d/%d swaps finished, %d failed",
+					name, workers, rep.SwapsFinished, rings, rep.SwapsFailed)
+			}
+			if best == nil || rep.SwapsPerSec > best.SwapsPerSec {
+				best = &rep
+			}
+		}
+		fmt.Printf("{\"bench\":\"engine_parallel\",\"mode\":%q,\"concurrency\":%d,\"rings\":%d,\"batch_verify\":%v,\"report\":%s}\n",
+			name, workers, rings, batch, best.JSON())
+		return nil
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, m := range modes {
+			if err := run(m.name, workers, ringsPerWorker*workers, true, m.mut); err != nil {
+				return err
+			}
+		}
+	}
+	// Ablation: batch verification off at the top of the ladder.
+	for _, m := range modes {
+		if err := run(m.name+"/no-batch-verify", 8, ringsPerWorker*8, false, m.mut); err != nil {
+			return err
+		}
+	}
+	// BENCH_02-comparable point: exactly the engine_throughput_vtime shape
+	// (4 rings per worker, concurrent mode, worker-sized pool).
+	return run("bench02-comparable", 8, 32, true,
+		func(cfg *engine.Config) { cfg.Virtual = true })
+}
+
 func benchJSON() error {
 	for _, hops := range []int{0, 4, 12} {
 		if err := hashkeyMicro(hops); err != nil {
@@ -447,8 +522,20 @@ func main() {
 	profileFlag := flag.String("profile", "poisson", "arrival process for -arrival-rate: constant, poisson, burst[:n], ramp[:from:to]")
 	scenarioFlag := flag.String("scenario", "", "run a deterministic adversarial scenario by name ('all' = built-in suite) and emit replay-stable digest JSON")
 	scenarioSeed := flag.Int64("scenario-seed", 0, "seed offset applied to every -scenario run (same offset ⇒ byte-identical output)")
+	scenarioParallel := flag.Bool("scenario-parallel", false, "run -scenario on the striped-parallel dispatcher (digests must stay byte-identical; CI diffs serial vs parallel output)")
 	recoveryFlag := flag.Bool("recovery-json", false, "emit the crash-recovery point (engine-crash@tick digest + 10k-event WAL recovery timing) as JSON and exit")
+	parallelJSON := flag.Bool("parallel-json", false, "emit the BENCH_04 dispatch-mode sweep (worker ladder × serial-det/parallel-det/concurrent, batch-verify ablation) as JSON and exit")
+	parallelRepeat := flag.Int("parallel-repeat", 3, "runs per -parallel-json point (best-of)")
+	parallelRings := flag.Int("parallel-rings", 16, "rings per worker in each -parallel-json point")
 	flag.Parse()
+
+	if *parallelJSON {
+		if err := parallelSweep(*parallelRepeat, *parallelRings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *recoveryFlag {
 		if err := recoveryJSON(); err != nil {
@@ -459,7 +546,7 @@ func main() {
 	}
 
 	if *scenarioFlag != "" {
-		if err := runScenarios(*scenarioFlag, *scenarioSeed); err != nil {
+		if err := runScenarios(*scenarioFlag, *scenarioSeed, *scenarioParallel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -206,11 +207,27 @@ type Chain struct {
 	records   []Record
 	storage   int
 	observers map[string]func(Notification)
+	// obsKeys mirrors the observer map's keys in sorted order, maintained
+	// incrementally: a (un)subscribe does one binary search plus a memmove
+	// instead of re-sorting the whole key set — which matters when many
+	// concurrent runs churn subscriptions on a shared chain.
+	obsKeys []string
 	// obsList is the key-sorted immutable snapshot of observers, rebuilt
-	// wholesale on (un)subscribe and published atomically, so the
-	// per-notification fanout neither sorts, copies the subscriber map,
-	// nor touches c.mu at all.
+	// on (un)subscribe and published atomically, so the per-notification
+	// fanout neither sorts, copies the subscriber map, nor touches c.mu
+	// at all.
 	obsList atomic.Pointer[[]func(Notification)]
+	// routes delivers notifications carrying a contract ID to only the
+	// observers registered for that exact contract — O(1) per record where
+	// the broadcast obsList is O(subscribers). Shared-chain runtimes route
+	// almost everything this way: a contract belongs to exactly one swap,
+	// so fanning its records out to every live swap (each discarding the
+	// note after a map probe) was the dominant shared-registry cost under
+	// load. Guarded by its own RWMutex rather than c.mu or copy-on-write:
+	// emit reads must not contend with ledger writes, and subscription
+	// churn (six route edits per swap) must not copy the table.
+	routesMu sync.RWMutex
+	routes   map[ContractID]map[string]func(Notification)
 }
 
 // New creates an empty chain with the given name, reading timestamps from
@@ -245,8 +262,15 @@ func (c *Chain) Subscribe(key string, fn func(Notification)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if fn == nil {
+		c.dropKeyLocked(key)
 		delete(c.observers, key)
 	} else {
+		if _, ok := c.observers[key]; !ok {
+			at := sort.SearchStrings(c.obsKeys, key)
+			c.obsKeys = append(c.obsKeys, "")
+			copy(c.obsKeys[at+1:], c.obsKeys[at:])
+			c.obsKeys[at] = key
+		}
 		c.observers[key] = fn
 	}
 	c.rebuildObsLocked()
@@ -256,24 +280,95 @@ func (c *Chain) Subscribe(key string, fn func(Notification)) {
 func (c *Chain) Unsubscribe(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.dropKeyLocked(key)
 	delete(c.observers, key)
 	c.rebuildObsLocked()
 }
 
-// rebuildObsLocked regenerates the sorted observer snapshot. Keys are
-// sorted for deterministic delivery under the discrete-event runtime.
-// The caller must hold c.mu.
-func (c *Chain) rebuildObsLocked() {
-	keys := make([]string, 0, len(c.observers))
-	for k := range c.observers {
-		keys = append(keys, k)
+// dropKeyLocked removes key from the sorted key mirror if present. The
+// caller must hold c.mu.
+func (c *Chain) dropKeyLocked(key string) {
+	if _, ok := c.observers[key]; !ok {
+		return
 	}
-	sort.Strings(keys)
-	list := make([]func(Notification), len(keys))
-	for i, k := range keys {
+	at := sort.SearchStrings(c.obsKeys, key)
+	c.obsKeys = append(c.obsKeys[:at], c.obsKeys[at+1:]...)
+}
+
+// rebuildObsLocked regenerates the observer snapshot from the sorted key
+// mirror. Keys stay sorted for deterministic delivery under the
+// discrete-event runtime. The caller must hold c.mu.
+func (c *Chain) rebuildObsLocked() {
+	list := make([]func(Notification), len(c.obsKeys))
+	for i, k := range c.obsKeys {
 		list[i] = c.observers[k]
 	}
 	c.obsList.Store(&list)
+}
+
+// SubscribeContract registers fn under key for notifications carrying
+// exactly this contract ID (publication, invocations, the settling
+// transfer). Unlike Subscribe, delivery costs O(1) per record regardless
+// of how many contracts — or other subscribers — share the chain; it is
+// the fanout shape for per-swap runtimes on shared chains, where each
+// contract concerns exactly one of them.
+func (c *Chain) SubscribeContract(key string, id ContractID, fn func(Notification)) {
+	c.routesMu.Lock()
+	defer c.routesMu.Unlock()
+	if c.routes == nil {
+		c.routes = make(map[ContractID]map[string]func(Notification))
+	}
+	inner := c.routes[id]
+	if inner == nil {
+		inner = make(map[string]func(Notification), 1)
+		c.routes[id] = inner
+	}
+	inner[key] = fn
+}
+
+// UnsubscribeContract removes the keyed contract route, if present.
+func (c *Chain) UnsubscribeContract(key string, id ContractID) {
+	c.routesMu.Lock()
+	defer c.routesMu.Unlock()
+	inner, ok := c.routes[id]
+	if !ok {
+		return
+	}
+	delete(inner, key)
+	if len(inner) == 0 {
+		delete(c.routes, id)
+	}
+}
+
+// routeTo appends the routed observers for a notification to dst, in
+// key-sorted order when a contract (atypically) has more than one — the
+// same determinism contract rebuildObsLocked keeps for broadcast
+// observers. The callbacks must be invoked after routesMu is released.
+func (c *Chain) routeTo(dst []func(Notification), n Notification) []func(Notification) {
+	if n.Contract == "" {
+		return dst
+	}
+	c.routesMu.RLock()
+	defer c.routesMu.RUnlock()
+	inner := c.routes[n.Contract]
+	switch len(inner) {
+	case 0:
+		return dst
+	case 1:
+		for _, fn := range inner {
+			dst = append(dst, fn)
+		}
+		return dst
+	}
+	keys := make([]string, 0, len(inner))
+	for k := range inner {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = append(dst, inner[k])
+	}
+	return dst
 }
 
 // RegisterAsset mints an asset owned by the given party.
@@ -440,11 +535,18 @@ func (c *Chain) PublishData(sender PartyID, note string, payload any, size int) 
 // contends with ledger writes or other emitters.
 func (c *Chain) emit(notes ...Notification) {
 	observers := c.obsList.Load()
-	if observers == nil {
-		return
-	}
+	var routed []func(Notification)
 	for _, n := range notes {
-		for _, fn := range *observers {
+		if observers != nil {
+			for _, fn := range *observers {
+				fn(n)
+			}
+		}
+		// Routed callbacks are copied out under RLock and invoked after it
+		// is released: observers may re-enter the chain. The slice is
+		// reused across notes in one emit call.
+		routed = c.routeTo(routed[:0], n)
+		for _, fn := range routed {
 			fn(n)
 		}
 	}
@@ -483,12 +585,27 @@ func (c *Chain) appendLocked(kind NoteKind, id ContractID, sender PartyID, size 
 }
 
 func hashRecord(r Record) [32]byte {
-	h := sha256.New()
-	h.Write(r.PrevHash[:])
-	fmt.Fprintf(h, "%d|%d|%d|%s|%s|%d|%s", r.Seq, int64(r.At), int(r.Kind), r.Contract, r.Sender, r.Size, r.Note)
-	var out [32]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	// Hand-rolled encoding of the byte stream
+	//   prevHash || "%d|%d|%d|%s|%s|%d|%s" (Seq, At, Kind, Contract, Sender, Size, Note)
+	// — it must stay byte-identical to that fmt layout or every persisted
+	// ledger hash breaks. One buffer + Sum256 keeps this off the allocator
+	// and fmt's reflection path; it runs once per ledger record.
+	var scratch [192]byte
+	buf := append(scratch[:0], r.PrevHash[:]...)
+	buf = strconv.AppendInt(buf, int64(r.Seq), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(r.At), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(int(r.Kind)), 10)
+	buf = append(buf, '|')
+	buf = append(buf, r.Contract...)
+	buf = append(buf, '|')
+	buf = append(buf, r.Sender...)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(r.Size), 10)
+	buf = append(buf, '|')
+	buf = append(buf, r.Note...)
+	return sha256.Sum256(buf)
 }
 
 // Records returns a copy of the ledger.

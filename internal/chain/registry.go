@@ -196,6 +196,19 @@ func (r *Registry) SubscribeAll(key string, fn func(Notification)) {
 	}
 }
 
+// SubscribeContract registers a contract-keyed route on the named chain
+// (creating the chain if needed): fn sees only records carrying that
+// contract ID. See Chain.SubscribeContract for the fanout contract.
+func (r *Registry) SubscribeContract(chainName, key string, id ContractID, fn func(Notification)) {
+	r.Chain(chainName).SubscribeContract(key, id, fn)
+}
+
+// UnsubscribeContract removes a contract-keyed route installed with
+// SubscribeContract.
+func (r *Registry) UnsubscribeContract(chainName, key string, id ContractID) {
+	r.Chain(chainName).UnsubscribeContract(key, id)
+}
+
 // UnsubscribeAll removes the keyed subscription from every chain and from
 // the future-chain list.
 func (r *Registry) UnsubscribeAll(key string) {

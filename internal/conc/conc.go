@@ -85,7 +85,27 @@ type Config struct {
 	// party actions execute one at a time, in (tick, schedule-order)
 	// order — which is what makes an engine run seed-replayable. Pointless
 	// (and a throughput hazard) on real or concurrent-virtual schedulers.
+	//
+	// When the scheduler additionally reports serialized dispatch
+	// (sched.SerialDispatcher), SyncDeliveries switches the run to inline
+	// delivery execution: party callbacks run directly on the scheduler
+	// dispatch (or stripe worker) goroutine instead of round-tripping
+	// through per-party mailbox goroutines. Semantically identical —
+	// the mailbox path under SyncDeliveries already blocked the scheduler
+	// until the party ran the callback — but without the channel handoffs,
+	// goroutine stacks, and hold bookkeeping per delivery.
 	SyncDeliveries bool
+	// StripeKey, when nonzero on a sched.KeyedScheduler, tags every
+	// scheduler event of this run with the key. Under striped-parallel
+	// dispatch (sched.NewVirtualParallel) the run's events then serialize
+	// among themselves in schedule order while distinct runs — distinct
+	// swaps, in the engine — execute concurrently. Zero joins the shared
+	// unkeyed stripe.
+	StripeKey uint64
+	// Log, when set, replaces the run's private trace log — the engine
+	// passes one shared flight-recorder ring so per-swap log allocation
+	// vanishes. Nil keeps a per-run log.
+	Log *trace.Log
 	// OnPhase, when set, observes the run's coarse phase transitions —
 	// the durable engine's crash-recovery log hook. Each phase fires at
 	// most once per run: "start" when the run is prepared, "escrow" when
@@ -94,6 +114,14 @@ type Config struct {
 	// callback runs on scheduler or chain-observer goroutines; it must be
 	// cheap and must not call back into the run.
 	OnPhase func(ev PhaseEvent)
+	// OnHorizon, when set, fires exactly once when the run is virtually
+	// over: inside the horizon event on the scheduler (so, under
+	// deterministic dispatch, at a schedule-pure instant), or at teardown
+	// for early-exiting runs whose horizon timer is cancelled. The
+	// clearing engine uses it to count virtually-live runs — the
+	// deterministic analogue of in-flight backpressure. Must be cheap and
+	// must not call back into the run.
+	OnHorizon func()
 }
 
 // PhaseEvent is one coarse protocol phase transition (see Config.OnPhase).
@@ -138,6 +166,18 @@ type Running struct {
 	horizonCh chan struct{}
 	subKey    string
 	shared    bool
+	// horizonOnce guards cfg.OnHorizon: normally fired by the horizon
+	// event itself, but an EarlyExit teardown cancels that timer, so Wait
+	// fires it as a fallback.
+	horizonOnce sync.Once
+}
+
+// fireHorizon runs cfg.OnHorizon at most once.
+func (rn *Running) fireHorizon() {
+	if rn.cfg.OnHorizon == nil {
+		return
+	}
+	rn.horizonOnce.Do(rn.cfg.OnHorizon)
 }
 
 // Run executes the setup with every party on its own goroutine. Behaviors
@@ -168,18 +208,32 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 	if scheduler == nil {
 		scheduler = sched.NewReal(cfg.Tick)
 	}
+	log := cfg.Log
+	if log == nil {
+		log = &trace.Log{}
+	}
 	r := &runner{
 		setup:    setup,
 		spec:     spec,
 		sched:    scheduler,
 		sync:     cfg.SyncDeliveries,
-		log:      &trace.Log{},
+		stripe:   cfg.StripeKey,
+		log:      log,
 		timers:   make(map[int64]sched.Timer),
 		resolved: make(map[int]bool),
 		resClaim: make(map[int]bool),
 		done:     make(chan struct{}),
 		cids:     make(map[chain.ContractID]int, spec.D.NumArcs()),
 		onPhase:  cfg.OnPhase,
+	}
+	if ks, ok := scheduler.(sched.KeyedScheduler); ok && r.stripe != 0 {
+		r.keyed = ks
+	}
+	// Inline deliveries: with synchronous deliveries on a scheduler that
+	// serializes same-stripe dispatch, the mailbox goroutines buy nothing —
+	// run party callbacks directly on the dispatching goroutine.
+	if sd, ok := scheduler.(sched.SerialDispatcher); ok && cfg.SyncDeliveries && sd.SerializedDispatch() {
+		r.inline = true
 	}
 
 	// Setup runs under a hold: under virtual time the clock must not jump
@@ -236,7 +290,9 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 	r.ctx = ctx
 
 	// One mailbox goroutine per party; all behavior callbacks and alarms
-	// run there, so behaviors stay single-threaded.
+	// run there, so behaviors stay single-threaded. Inline mode skips the
+	// goroutines entirely: the scheduler's same-stripe serialization is
+	// the single-threading guarantee instead.
 	n := spec.D.NumVertices()
 	r.parties = make([]*party, n)
 	wg := new(sync.WaitGroup)
@@ -253,9 +309,19 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 			runner:   r,
 			vertex:   digraph.Vertex(v),
 			behavior: b,
-			mailbox:  make(chan func(), 1024),
 		}
+		p.envc.p = p
 		r.parties[v] = p
+		if r.inline {
+			continue
+		}
+		// A small buffer suffices: deliveries are produced only by scheduler
+		// dispatch goroutines (each holding the clock while its send is in
+		// flight, with a ctx-cancel escape hatch), and the party loop drains
+		// without ever blocking on another mailbox — a full buffer is
+		// backpressure, not deadlock. An oversized channel here dominated
+		// per-run allocations (~8 KiB × parties × runs).
+		p.mailbox = make(chan func(), 16)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -264,7 +330,17 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 	}
 	subKey := fmt.Sprintf("conc-run-%d", atomic.AddUint64(&runSeq, 1))
 	if shared {
-		r.reg.SubscribeAll(subKey, r.onNote)
+		// Contract-keyed routes instead of a blanket subscription: every
+		// record about one of this run's contracts reaches onNote in O(1),
+		// and records about other swaps' contracts never do — on a shared
+		// registry the blanket fanout made every ledger write cost O(live
+		// runs). Only the broadcast chain still needs the firehose: its
+		// data records carry a tag, not a contract ID, and onNote filters
+		// them by spec tag.
+		for id := 0; id < spec.D.NumArcs(); id++ {
+			r.reg.SubscribeContract(spec.Assets[id].Chain, subKey, spec.ContractID(id), r.onNote)
+		}
+		r.reg.Chain(core.BroadcastChain).Subscribe(subKey, r.onNote)
 	} else {
 		r.reg.SetObserverAll(r.onNote)
 	}
@@ -276,10 +352,7 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 		r.deliverAt(initAt, p, false, func() { p.behavior.Init(p.env()) })
 	}
 	horizonCh := make(chan struct{})
-	r.schedule(horizon, func() { close(horizonCh) })
-	release()
-
-	return &Running{
+	rn := &Running{
 		r:         r,
 		cfg:       cfg,
 		cancel:    cancel,
@@ -287,7 +360,11 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 		horizonCh: horizonCh,
 		subKey:    subKey,
 		shared:    shared,
-	}, nil
+	}
+	r.schedule(horizon, func() { rn.fireHorizon(); close(horizonCh) })
+	release()
+
+	return rn, nil
 }
 
 // Wait blocks until the prepared run finishes, tears it down, and
@@ -322,6 +399,9 @@ func (rn *Running) Wait() *Result {
 	rn.cancel()
 	rn.partyWG.Wait()
 	for _, p := range r.parties {
+		if p.mailbox == nil {
+			continue // inline mode: deliveries never queue
+		}
 	drain:
 		for {
 			select {
@@ -333,8 +413,14 @@ func (rn *Running) Wait() *Result {
 		}
 	}
 	if rn.shared {
-		r.reg.UnsubscribeAll(rn.subKey)
+		for id := 0; id < r.spec.D.NumArcs(); id++ {
+			r.reg.UnsubscribeContract(r.spec.Assets[id].Chain, rn.subKey, r.spec.ContractID(id))
+		}
+		r.reg.Chain(core.BroadcastChain).Unsubscribe(rn.subKey)
 	}
+	// EarlyExit teardown may have cancelled the horizon timer before it
+	// fired; the run is over either way.
+	rn.fireHorizon()
 
 	return r.buildResult()
 }
@@ -346,13 +432,20 @@ type runner struct {
 	setup *core.Setup
 	spec  *core.Spec
 	sched sched.Scheduler
-	reg   *chain.Registry
-	probe chain.DeliveryProbe
-	log   *trace.Log
-	ctx   context.Context
+	// keyed is non-nil when the scheduler supports stripe keys and the run
+	// has one: every event the run schedules then carries stripe.
+	keyed  sched.KeyedScheduler
+	stripe uint64
+	reg    *chain.Registry
+	probe  chain.DeliveryProbe
+	log    *trace.Log
+	ctx    context.Context
 	// sync makes deliveries block the scheduler callback until the party
 	// executed them (Config.SyncDeliveries).
 	sync bool
+	// inline runs deliveries directly on the scheduler dispatch goroutine
+	// (see Config.SyncDeliveries); parties then have no mailbox goroutine.
+	inline bool
 	// horizonTick is the run's scheduled end, for Result.SettleTick when
 	// some arc never resolves.
 	horizonTick vtime.Ticks
@@ -402,7 +495,7 @@ func (r *runner) schedule(t vtime.Ticks, fn func()) {
 	}
 	id := r.timerSeq
 	r.timerSeq++
-	tm := r.sched.At(t, func() {
+	inner := func() {
 		r.timersMu.Lock()
 		if r.stopped {
 			r.timersMu.Unlock()
@@ -413,7 +506,13 @@ func (r *runner) schedule(t vtime.Ticks, fn func()) {
 		r.timersMu.Unlock()
 		defer r.fnWG.Done()
 		fn()
-	})
+	}
+	var tm sched.Timer
+	if r.keyed != nil {
+		tm = r.keyed.AtKeyed(t, r.stripe, inner)
+	} else {
+		tm = r.sched.At(t, inner)
+	}
 	r.timers[id] = tm
 	r.timersMu.Unlock()
 }
@@ -440,6 +539,29 @@ func (r *runner) stopTimers() {
 // abandon gate: refund alarms keep running for abandoned parties, as in
 // the simulator runtime.
 func (r *runner) deliverAt(t vtime.Ticks, p *party, alarm bool, fn func()) {
+	if r.inline {
+		// Inline mode: the scheduler dispatch IS the party execution — the
+		// dispatcher (or this stripe's worker) already holds the clock for
+		// the duration of the callback, and same-stripe serialization keeps
+		// the behavior single-threaded. No hold, no handoff, no wait.
+		r.schedule(t, func() {
+			if r.ctx.Err() != nil {
+				return
+			}
+			if !alarm && p.abandoned {
+				return
+			}
+			if r.probe != nil {
+				if lag := r.sched.Now().Sub(t); lag > 0 {
+					r.probe.Observe(lag)
+				} else {
+					r.probe.Observe(0)
+				}
+			}
+			fn()
+		})
+		return
+	}
 	r.schedule(t, func() {
 		settle := r.sched.Hold()
 		// Under SyncDeliveries the scheduler callback additionally waits
@@ -644,13 +766,15 @@ func (r *runner) buildResult() *Result {
 	}
 }
 
-// party is one goroutine-backed participant.
+// party is one goroutine-backed participant (mailbox nil in inline mode,
+// where the scheduler's same-stripe serialization replaces the goroutine).
 type party struct {
 	runner    *runner
 	vertex    digraph.Vertex
 	behavior  core.Behavior
 	mailbox   chan func()
-	abandoned bool // touched only on the party goroutine
+	envc      concEnv
+	abandoned bool // touched only on the party goroutine / stripe
 }
 
 func (p *party) loop(ctx context.Context) {
@@ -664,7 +788,11 @@ func (p *party) loop(ctx context.Context) {
 	}
 }
 
-func (p *party) env() core.Env { return &concEnv{p: p} }
+// env returns the party's cached Env. concEnv is stateless (one back
+// pointer), and every callback of a party is serialized — on its mailbox
+// goroutine or its stripe — so one value per party serves all callbacks
+// without allocating per delivery.
+func (p *party) env() core.Env { return &p.envc }
 
 // concEnv implements core.Env against real chains and the shared scheduler.
 type concEnv struct {

@@ -41,6 +41,9 @@ func TestKillRecoverInFlight(t *testing.T) {
 		AdversaryRate: 0.15,
 		Virtual:       true,
 		Store:         store,
+		// The live-run gate would cap in-flight at 16×Workers=32; this
+		// test's whole point is a crash with ≥50 swaps mid-air.
+		MaxLive: rings,
 	}
 	a := engine.New(cfgA)
 	if err := a.Start(); err != nil {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,8 +34,34 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
 	"github.com/go-atomicswap/atomicswap/internal/metrics"
 	"github.com/go-atomicswap/atomicswap/internal/sched"
+	"github.com/go-atomicswap/atomicswap/internal/trace"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
+
+// seededRand is a splitmix64 byte stream: the deterministic randomness
+// source for per-swap secrets and keys. Unlike rand.NewSource — whose
+// Lehmer generator seeds 607 words up front — construction is O(1), which
+// matters when every cleared swap gets its own stream.
+type seededRand struct {
+	state uint64
+}
+
+func newSeededRand(seed uint64) *seededRand { return &seededRand{state: seed} }
+
+func (s *seededRand) Read(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		s.state += 0x9e3779b97f4a7c15
+		z := s.state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		for j := i; j < i+8 && j < len(p); j++ {
+			p[j] = byte(z)
+			z >>= 8
+		}
+	}
+	return len(p), nil
+}
 
 // Config parameterizes an Engine. The zero value is usable: 8 workers,
 // 2ms clearing interval, 1ms ticks, Δ = core.DefaultDelta.
@@ -105,6 +132,17 @@ type Config struct {
 	// from scheduler callbacks (loadgen arrivals) or a single goroutine;
 	// racing Submit calls reintroduce the nondeterminism this removes.
 	Deterministic bool
+	// Parallel upgrades Deterministic mode to striped-parallel dispatch
+	// (implies Deterministic): same-tick events are partitioned by swap
+	// onto a Workers-sized pool with a per-tick barrier, so each swap
+	// still sees the serialized schedule — digests stay byte-identical to
+	// plain Deterministic runs — while independent swaps use every core.
+	// See DESIGN.md §10 for the determinism argument.
+	Parallel bool
+	// DisableBatchVerify keeps cold hashkey-chain verifications strictly
+	// serial instead of fanning links across the worker pool — the
+	// benchmark ablation knob. Off (batching enabled) by default.
+	DisableBatchVerify bool
 	// Store, when set, receives a write-ahead Event for every durable
 	// state transition: identities, mints, bookings, clearings,
 	// reservations, phase transitions, settles, rejections, sheds. nil
@@ -122,6 +160,12 @@ type Config struct {
 	// Workers. Otherwise 0 means unlimited (clear-everything, the
 	// historical behavior).
 	MaxClearAhead int
+	// MaxLive overrides the virtual-time live-run gate (default
+	// 16×Workers, the empirical throughput knee — see DESIGN.md §10).
+	// The gate bounds how many swaps are virtually in flight at once;
+	// tests that need the historical clear-everything burst (e.g. "crash
+	// with ≥N swaps mid-air") set it at least as high as the burst.
+	MaxLive int
 }
 
 // Engine errors.
@@ -160,6 +204,8 @@ type job struct {
 	resv        []resvKey
 	adversarial bool
 	seed        int64
+	// seq is the engine-wide swap ordinal — the run's scheduler stripe key.
+	seq uint64
 	// running is the already-prepared run (Deterministic mode: setup
 	// happened inside the clearing tick); nil means the worker prepares.
 	running  *conc.Running
@@ -180,9 +226,13 @@ type mintRec struct {
 // Engine is the clearing service. Create with New, call Start, Submit
 // offers from any goroutine, and Drain/Stop to wind down.
 type Engine struct {
-	cfg   Config
-	reg   *chain.Registry
-	sched sched.Scheduler
+	cfg Config
+	// maxLive caps virtually-live runs on virtual schedulers (see
+	// liveRuns): enough concurrency to saturate the stripe pool, bounded
+	// so observer fanout stays flat.
+	maxLive int
+	reg     *chain.Registry
+	sched   sched.Scheduler
 	// vsched is sched when running under virtual time (for Close), nil
 	// otherwise.
 	vsched *sched.Virtual
@@ -200,9 +250,17 @@ type Engine struct {
 	// vcache is the engine-wide hashkey verification cache shared by every
 	// swap's contracts (content-addressed, so cross-swap sharing is safe).
 	vcache *hashkey.VerifyCache
+	// tracer is the engine-wide trace flight recorder: one fixed-size ring
+	// shared by every swap run, so per-swap trace state costs nothing.
+	tracer *trace.Log
 
 	jobs     chan *job
 	workerWG sync.WaitGroup
+
+	// drainCh wakes Drain the moment the engine may have gone idle
+	// (in-flight count reached zero, book emptied, or Kill), replacing the
+	// wall-clock poll that used to put a fixed tail on every run.
+	drainCh chan struct{}
 
 	// The clearing loop is a self-rescheduling timer on the shared
 	// scheduler: clearMu guards the live timer and the stop flag, clearWG
@@ -213,8 +271,25 @@ type Engine struct {
 	clearMu      sync.Mutex
 	clearTimer   sched.Timer
 	clearStopped bool
-	clearWG      sync.WaitGroup
-	clearEvery   vtime.Duration
+	// clearParked marks a deterministic clearing loop that stopped
+	// rescheduling itself because the engine went virtually idle (empty
+	// book, empty scheduler queue); Submit re-arms it. Parked rounds are
+	// exactly the rounds the active-round count never included, so digests
+	// are unaffected — but the virtual clock stops free-running, instead
+	// of burning CPU on empty rounds until Drain notices at wall speed.
+	clearParked bool
+	clearWG     sync.WaitGroup
+	clearEvery  vtime.Duration
+
+	// liveRuns counts virtually-live swap runs: incremented when a swap is
+	// dispatched, decremented by the run's OnHorizon hook — which fires
+	// inside a scheduler event, so under deterministic dispatch the count
+	// read by a clearing tick is a pure function of the virtual schedule
+	// (unlike inflight, whose decrement is wall-speed worker bookkeeping).
+	// Clearing rounds gate dispatch on it: an unbounded pile of live runs
+	// makes the shared chains' per-record observer fanout O(live runs) —
+	// quadratic over a big book.
+	liveRuns atomic.Int64
 
 	mu        sync.Mutex
 	state     engineState
@@ -272,6 +347,9 @@ func New(cfg Config) *Engine {
 	if cfg.Kind == 0 {
 		cfg.Kind = core.KindGeneral
 	}
+	if cfg.Parallel {
+		cfg.Deterministic = true
+	}
 	if cfg.Deterministic {
 		cfg.Virtual = true
 		// Backpressure reads the in-flight count, which is decremented by
@@ -319,18 +397,38 @@ func New(cfg Config) *Engine {
 		// clear-ahead at the queue depth makes the send non-blocking.
 		cfg.MaxClearAhead = cfg.QueueDepth
 	}
+	if cfg.MaxLive <= 0 {
+		cfg.MaxLive = 16 * cfg.Workers
+	}
 	e := &Engine{
 		cfg:        cfg,
+		maxLive:    cfg.MaxLive,
 		probe:      sched.NewLatencyProbe(),
 		agg:        metrics.NewAggregate(),
 		keyring:    core.NewKeyring(rand.New(rand.NewSource(cfg.Seed + 2))),
 		vcache:     hashkey.NewVerifyCache(0),
+		tracer:     trace.NewLog(trace.DefaultCap),
 		jobs:       make(chan *job, cfg.QueueDepth),
 		orders:     make(map[OrderID]*order),
 		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
+		drainCh:    make(chan struct{}, 1),
 		clearEvery: cfg.ClearEvery,
 	}
+	if !cfg.DisableBatchVerify {
+		// Cold chain walks may fan links across the pool — capped at the
+		// machine's parallelism, where extra fan-out is pure overhead.
+		bw := cfg.Workers
+		if n := runtime.GOMAXPROCS(0); bw > n {
+			bw = n
+		}
+		e.vcache.SetBatchWorkers(bw)
+	}
 	switch {
+	case cfg.Parallel:
+		// Striped-parallel dispatch: per-swap stripes on a worker pool
+		// with a per-tick barrier — replayable AND multicore.
+		e.vsched = sched.NewVirtualParallel(cfg.Workers)
+		e.sched = e.vsched
 	case cfg.Deterministic:
 		// Serialized dispatch: same-tick events run in schedule order on
 		// one dispatcher goroutine — the replayable mode.
@@ -483,7 +581,11 @@ func (e *Engine) Submit(offer core.Offer) (OrderID, error) {
 	if _, err := e.keyring.Ensure(offer.Party); err != nil {
 		return 0, err
 	}
-	return e.bookOrder(offer)
+	id, err := e.bookOrder(offer)
+	if err == nil {
+		e.ensureClearing()
+	}
+	return id, err
 }
 
 // bookOrder validates the offer against engine state, mints unseen
@@ -575,13 +677,25 @@ func (e *Engine) NoteShed(n int) {
 // runs deterministic end to end: clearing rounds land at fixed virtual
 // ticks, interleaved with arrivals and protocol events in schedule
 // order, rather than whenever the host OS ran a ticker goroutine.
+// clearAt schedules fn for tick t at tail priority on virtual schedulers:
+// the clearing pass then runs only after every protocol event of its tick
+// has fully drained, which gives serialized and striped-parallel dispatch
+// the identical pre-clearing queue state — the liveness gate below reads
+// it — and makes the clearing tick the canonical last word of its tick.
+func (e *Engine) clearAt(t vtime.Ticks, fn func()) sched.Timer {
+	if e.vsched != nil {
+		return e.vsched.AtTail(t, fn)
+	}
+	return e.sched.At(t, fn)
+}
+
 func (e *Engine) scheduleClear() {
 	e.clearMu.Lock()
 	defer e.clearMu.Unlock()
 	if e.clearStopped {
 		return
 	}
-	e.clearTimer = e.sched.At(e.sched.Now().Add(e.clearEvery), func() {
+	e.clearTimer = e.clearAt(e.sched.Now().Add(e.clearEvery), func() {
 		e.clearMu.Lock()
 		if e.clearStopped {
 			e.clearMu.Unlock()
@@ -590,9 +704,22 @@ func (e *Engine) scheduleClear() {
 		e.clearWG.Add(1)
 		e.clearMu.Unlock()
 		defer e.clearWG.Done()
-		e.clearTick()
-		e.scheduleClear()
+		if e.clearTick() {
+			e.scheduleClear()
+		}
 	})
+}
+
+// ensureClearing re-arms a parked clearing loop (no-op otherwise). Called
+// after intake books an order, outside the engine lock.
+func (e *Engine) ensureClearing() {
+	e.clearMu.Lock()
+	parked := e.clearParked
+	e.clearParked = false
+	e.clearMu.Unlock()
+	if parked {
+		e.scheduleClear()
+	}
 }
 
 // stopClearing cancels the clearing timer and waits out a tick in
@@ -610,21 +737,64 @@ func (e *Engine) stopClearing() {
 
 // clearTick is one round of the batch clearing service: it partitions
 // the pending book into executable swaps. While draining it also detects
-// a stalled book (offers that can never match) and rejects it.
-func (e *Engine) clearTick() {
+// a stalled book (offers that can never match) and rejects it. The return
+// value says whether to keep the loop armed: a deterministic engine with
+// nothing virtually live parks instead (Submit re-arms; see clearParked).
+func (e *Engine) clearTick() bool {
 	e.clearRounds++
 	// Virtual liveness: the book is non-empty, or the scheduler still
 	// holds events (a live swap always holds at least its horizon timer,
 	// and deterministic runs never early-exit). Once both are empty the
-	// run is over in virtual terms — rounds keep spinning on the virtual
-	// clock until Drain notices at wall speed, so anything that must
-	// replay identically (Δ adaptations, the active-round count) is gated
-	// on it. Both gate inputs are pure functions of virtual state; the
-	// in-flight count (decremented by worker bookkeeping at wall speed)
-	// deliberately plays no part.
+	// run is over in virtual terms — so anything that must replay
+	// identically (Δ adaptations, the active-round count) is gated on it,
+	// and the loop parks rather than spin empty rounds on the free-running
+	// virtual clock until Drain notices at wall speed. Both gate inputs
+	// are pure functions of virtual state; the in-flight count
+	// (decremented by worker bookkeeping at wall speed) deliberately
+	// plays no part.
 	live := !e.cfg.Deterministic || e.Pending() > 0 || e.vsched.Pending() > 0
 	if live {
 		e.activeRounds++
+	} else if e.cfg.Deterministic {
+		e.clearMu.Lock()
+		e.clearParked = true
+		e.clearMu.Unlock()
+		// Re-check under the parked flag: an order booked between the gate
+		// read and the park would otherwise wait forever (its ensureClearing
+		// saw the loop still armed).
+		if e.Pending() > 0 || e.vsched.Pending() > 0 {
+			e.ensureClearing()
+		}
+		e.notifyDrain()
+		return false
+	}
+	if !e.cfg.Deterministic && e.vsched != nil {
+		// A free-running virtual clock turns any round with nothing to
+		// dispatch into a spin: with no swap events between now and the next
+		// clearing tick, the loop burns one empty round per tick at CPU
+		// speed — millions per wall second on this box — starving the
+		// wall-speed worker bookkeeping (and Drain) it is waiting on. That
+		// happens when the book is empty, and equally when the live-run gate
+		// is saturated (dispatch blocked until horizons fire). Park instead;
+		// intake (ensureClearing on Submit) and the gate (OnHorizon) both
+		// re-arm. A reservation-conflicted group stays in the book with the
+		// gate open, so retry rounds are never parked away.
+		empty := e.Pending() == 0
+		gated := !empty && e.liveRuns.Load() >= int64(e.maxLive)
+		if empty || gated {
+			e.clearMu.Lock()
+			e.clearParked = true
+			e.clearMu.Unlock()
+			// Re-check under the parked flag: an order booked (or a horizon
+			// fired) between the gate read and the park would otherwise have
+			// seen the loop still armed and not re-armed it.
+			if (empty && e.Pending() > 0) ||
+				(gated && e.liveRuns.Load() < int64(e.maxLive)) {
+				e.ensureClearing()
+			}
+			e.notifyDrain()
+			return false
+		}
 	}
 	if e.cfg.AdaptiveDelta && live {
 		e.adaptDelta()
@@ -646,18 +816,54 @@ func (e *Engine) clearTick() {
 		e.rejectPending("unmatched: no counterparties before drain")
 		e.drainStall = 0
 	}
+	return true
 }
 
 // clearRound runs one clearing pass and reports whether any swap was
 // dispatched to the executor pool.
 func (e *Engine) clearRound() bool {
+	// Dispatch capacity this round, in swaps. When the virtual live-run
+	// gate is saturated there is no point partitioning the book at all —
+	// on a deep book that scan (and its graph partition) is the dominant
+	// per-round cost, and a gated round can dispatch nothing anyway. The
+	// gate count is schedule-pure (see liveRuns), so deterministic engines
+	// replay this short-circuit identically.
+	capSwaps := -1 // unbounded
+	if e.vsched != nil {
+		capSwaps = e.maxLive - int(e.liveRuns.Load())
+		if capSwaps <= 0 {
+			return false
+		}
+	}
+
 	// One offer per party per round: a party's later orders wait for its
 	// earlier ones, which also serializes conflicting same-asset offers.
 	e.mu.Lock()
+	if len(e.pending) < 2 {
+		// Nothing can match; skip the per-round map allocation — most
+		// rounds of a loaded virtual run find the book momentarily empty.
+		e.mu.Unlock()
+		return false
+	}
+	limit := e.cfg.MaxBatch
+	if capSwaps > 0 {
+		// Scan only what this round can plausibly dispatch: groups are
+		// small (a handful of offers each), so 8 offers per free slot —
+		// floored so thin capacity still sees enough of the book to form
+		// matches — keeps partitioning O(capacity), not O(book). Offers
+		// beyond the window just wait; the book is FIFO, so nothing is
+		// starved, and later rounds see whatever this one left behind.
+		if w := 8 * capSwaps; w < limit {
+			if w < 64 {
+				w = 64
+			}
+			limit = w
+		}
+	}
 	seen := make(map[chain.PartyID]bool)
 	var batch []*order
 	for _, o := range e.pending {
-		if len(batch) >= e.cfg.MaxBatch {
+		if len(batch) >= limit {
 			break
 		}
 		if seen[o.offer.Party] {
@@ -689,6 +895,14 @@ func (e *Engine) clearRound() bool {
 		if e.cfg.MaxClearAhead > 0 && e.InFlight() >= e.cfg.MaxClearAhead {
 			break // backpressure: leave the rest pending for later rounds
 		}
+		if e.vsched != nil && e.liveRuns.Load() >= int64(e.maxLive) {
+			// Virtual-time backpressure: the count of virtually-live runs
+			// is schedule-pure (see liveRuns), so deterministic engines can
+			// gate on it where wall-speed in-flight counts would break
+			// replay. Keeping live runs bounded also keeps the shared
+			// chains' per-record observer fanout O(workers), not O(book).
+			break
+		}
 		if e.clearGroup(g, byParty) {
 			dispatched = true
 		}
@@ -702,8 +916,9 @@ func (e *Engine) clearRound() bool {
 func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bool {
 	e.mu.Lock()
 	e.nextSwap++
-	swapID := fmt.Sprintf("swap-%06d", e.nextSwap)
-	seed := e.cfg.Seed + int64(e.nextSwap)
+	seq := e.nextSwap
+	swapID := fmt.Sprintf("swap-%06d", seq)
+	seed := e.cfg.Seed + int64(seq)
 	e.mu.Unlock()
 	// The rng draw needs no lock: clearGroup only ever runs on the
 	// clearing goroutine, to which e.rng is confined (see the field doc).
@@ -747,10 +962,14 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 	}
 
 	setup, err := core.Clear(g, core.Config{
-		Kind:    e.cfg.Kind,
-		Tag:     swapID,
-		Delta:   e.CurrentDelta(),
-		Rand:    rand.New(rand.NewSource(seed)),
+		Kind:  e.cfg.Kind,
+		Tag:   swapID,
+		Delta: e.CurrentDelta(),
+		// A splitmix stream seeds per-swap secrets and keys in O(1)
+		// instead of math/rand's O(607) Lehmer state initialization —
+		// a measurable per-swap cost at clearing rates, with the same
+		// determinism guarantee (the stream is a pure function of seed).
+		Rand:    newSeededRand(uint64(seed)),
 		Keyring: e.keyring,
 		Cache:   e.vcache,
 	})
@@ -765,6 +984,7 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 		resv:        held,
 		adversarial: adversarial,
 		seed:        seed,
+		seq:         seq,
 	}
 	if e.cfg.Deterministic {
 		// Swap setup happens inside the clearing tick, on the serialized
@@ -774,13 +994,17 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 		// result and settles the books.
 		sb := e.buildBehaviors(setup, seed, adversarial)
 		j.deviants = sb.Deviants
-		rn, err := conc.Prepare(setup, sb.Behaviors, e.runConfig(setup.Spec, seed))
+		rn, err := conc.Prepare(setup, sb.Behaviors, e.runConfig(setup.Spec, seed, j.seq))
 		if err != nil {
 			rejectGroup("execution: " + err.Error())
 			return false
 		}
 		j.running = rn
 	}
+	// Counted live from dispatch until the run's horizon event fires (see
+	// liveRuns). The non-deterministic path prepares in the worker; a
+	// Prepare failure there un-counts the run itself (runSwap).
+	e.liveRuns.Add(1)
 	e.mu.Lock()
 	for _, o := range g {
 		ord := byParty[o.Party]
@@ -845,7 +1069,7 @@ func (e *Engine) buildBehaviors(setup *core.Setup, seed int64, adversarial bool)
 // 2Δ start offset leaves deployment headroom; a deterministic per-swap
 // stagger inside one Δ spreads the event bursts of swaps dispatched in
 // the same wave.
-func (e *Engine) runConfig(spec *core.Spec, seed int64) conc.Config {
+func (e *Engine) runConfig(spec *core.Spec, seed int64, stripe uint64) conc.Config {
 	stagger := vtime.Duration(seed % int64(spec.Delta))
 	cfg := conc.Config{
 		Scheduler:   e.sched,
@@ -858,6 +1082,20 @@ func (e *Engine) runConfig(spec *core.Spec, seed int64) conc.Config {
 		EarlyExit:      !e.cfg.Deterministic,
 		Cache:          e.vcache,
 		SyncDeliveries: e.cfg.Deterministic,
+		// Per-swap stripes let the striped-parallel scheduler run this
+		// swap serialized against itself but concurrent with the others;
+		// the shared ring replaces per-run trace logs.
+		StripeKey: stripe,
+		Log:       e.tracer,
+		OnHorizon: func() {
+			e.liveRuns.Add(-1)
+			// A saturated gate parks the non-deterministic clearing loop;
+			// the horizon that opened the gate re-arms it. No-op when the
+			// loop is armed (or deterministic: its ticks stay scheduled).
+			if e.Pending() > 0 {
+				e.ensureClearing()
+			}
+		},
 	}
 	if e.cfg.Store != nil {
 		// Phase transitions go to the WAL: recovery's resume-vs-refund
@@ -892,7 +1130,12 @@ func (e *Engine) runSwap(j *job) {
 		// pins it atomically under a scheduler hold).
 		sb := e.buildBehaviors(j.setup, j.seed, j.adversarial)
 		j.deviants = sb.Deviants
-		res, err = conc.Run(j.setup, sb.Behaviors, e.runConfig(spec, j.seed))
+		res, err = conc.Run(j.setup, sb.Behaviors, e.runConfig(spec, j.seed, j.seq))
+		if err != nil {
+			// Prepare failed before the horizon hook could be armed; the
+			// dispatch-time count must come back down here.
+			e.liveRuns.Add(-1)
+		}
 	}
 	// The virtual tick this swap's durable events carry: its settle tick.
 	// Worker bookkeeping runs at wall speed, so the append ORDER of these
@@ -949,7 +1192,11 @@ func (e *Engine) runSwap(j *job) {
 		})
 	}
 	e.inflight--
+	idle := e.inflight == 0
 	e.mu.Unlock()
+	if idle {
+		e.notifyDrain()
+	}
 
 	if err != nil {
 		e.agg.AddRejected(len(j.orders))
@@ -992,9 +1239,21 @@ func (e *Engine) rejectOrders(batch []*order, reason string) {
 		e.logEvent(Event{Kind: EvRejected, Tick: now, Order: o.id, Reason: reason})
 	}
 	e.compactPendingLocked()
+	empty := len(e.pending) == 0
 	e.mu.Unlock()
 	if n > 0 {
 		e.agg.AddRejected(n)
+	}
+	if empty {
+		e.notifyDrain()
+	}
+}
+
+// notifyDrain wakes a blocked Drain without ever blocking the caller.
+func (e *Engine) notifyDrain() {
+	select {
+	case e.drainCh <- struct{}{}:
+	default:
 	}
 }
 
@@ -1036,6 +1295,7 @@ func (e *Engine) Kill() vtime.Ticks {
 	}
 	cut := e.sched.Now()
 	e.logEvent(Event{Kind: EvKilled, Tick: cut})
+	e.notifyDrain()
 	return cut
 }
 
@@ -1050,7 +1310,11 @@ func (e *Engine) Drain(ctx context.Context) error {
 		e.state = stateDraining
 	}
 	e.mu.Unlock()
-	tick := time.NewTicker(e.cfg.ClearInterval)
+	// Event-driven wait: workers, rejections, parking, and Kill all signal
+	// drainCh the instant the engine may have gone idle, so virtual runs
+	// no longer pay a fixed wall-clock poll interval as a shutdown tail.
+	// The coarse ticker is a belt-and-braces fallback only.
+	tick := time.NewTicker(50 * time.Millisecond)
 	defer tick.Stop()
 	for {
 		e.mu.Lock()
@@ -1062,6 +1326,7 @@ func (e *Engine) Drain(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
+		case <-e.drainCh:
 		case <-tick.C:
 		}
 	}

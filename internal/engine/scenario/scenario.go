@@ -79,6 +79,13 @@ type Scenario struct {
 
 	// Workers sizes the engine's executor pool (default 8).
 	Workers int `json:"workers,omitempty"`
+	// Parallel runs the deterministic schedule on the striped-parallel
+	// dispatcher (engine.Config.Parallel) instead of the serialized one.
+	// It is an execution knob, not a schedule knob: the digest must be
+	// byte-identical either way, which is exactly what the determinism
+	// suite asserts — so it is deliberately excluded from the scenario's
+	// JSON identity.
+	Parallel bool `json:"-"`
 	// Delta is the per-swap Δ in ticks (default core.DefaultDelta).
 	Delta vtime.Duration `json:"delta,omitempty"`
 	// ClearEvery is the clearing cadence in ticks (default 2).
@@ -242,6 +249,7 @@ func (sc Scenario) engineConfig() engine.Config {
 		AdaptiveDelta: sc.AdaptiveDelta,
 		Seed:          sc.Seed,
 		Deterministic: true,
+		Parallel:      sc.Parallel,
 		Behaviors:     sc.factory(),
 		// Deterministic mode forgoes clear-ahead backpressure, so the job
 		// queue must hold every swap the book can produce.

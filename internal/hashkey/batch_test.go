@@ -1,0 +1,190 @@
+package hashkey
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+)
+
+// batchFixture builds n valid chains of varying length over one signer
+// ring; chains share inner suffixes the way follower re-presentations do,
+// so link dedup has something to collapse.
+func batchFixture(t *testing.T, n int) (Directory, []*Signer, []BatchItem) {
+	t.Helper()
+	_, signers, dir := cacheBench(t)
+	items := make([]BatchItem, 0, n)
+	for i := 0; i < n; i++ {
+		leader := 2 + i%3 // leaders 2..4: chains of 3..5 links
+		secret, key := chainOfLen(t, signers, leader)
+		items = append(items, BatchItem{Key: key, Lock: secret.Lock(), Leader: digraph.Vertex(leader)})
+	}
+	return dir, signers, items
+}
+
+func TestBatchAllValid(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		dir, _, items := batchFixture(t, 6)
+		cache := NewVerifyCache(0)
+		b := NewBatch(dir, workers)
+		for _, it := range items {
+			b.Add(it.Key, it.Lock, it.Leader)
+		}
+		if got := b.Settle(cache); got != 0 {
+			t.Fatalf("workers=%d: Settle failures = %d, want 0", workers, got)
+		}
+		for i, it := range b.Items() {
+			if it.Err != nil {
+				t.Fatalf("workers=%d: item %d: %v", workers, i, it.Err)
+			}
+		}
+		// Every settled chain must have been seeded: a second settle of the
+		// same chains answers entirely from the cache.
+		before := cache.Stats()
+		b2 := NewBatch(dir, workers)
+		for _, it := range items {
+			b2.Add(it.Key, it.Lock, it.Leader)
+		}
+		if got := b2.Settle(cache); got != 0 {
+			t.Fatalf("workers=%d: re-Settle failures = %d, want 0", workers, got)
+		}
+		after := cache.Stats()
+		if hits := after.Hits - before.Hits; hits != uint64(len(items)) {
+			t.Fatalf("workers=%d: re-settle hits = %d, want %d", workers, hits, len(items))
+		}
+		if after.Misses != before.Misses || after.Fastpath != before.Fastpath {
+			t.Fatalf("workers=%d: re-settle did signature work: before %+v after %+v", workers, before, after)
+		}
+	}
+}
+
+// TestBatchCorruptSignatureIsolated is the batch-verify fallback contract:
+// one corrupt signature inside a batch is attributed to the exact link and
+// vertex, every other batch member still verifies, and the cache is not
+// poisoned by the corrupt chain.
+func TestBatchCorruptSignatureIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		dir, signers, items := batchFixture(t, 5)
+		cache := NewVerifyCache(0)
+
+		// Corrupt exactly link 1 of item 2's chain: vertex 1 signs garbage
+		// instead of the inner signature, and vertex 0 (honestly) wraps the
+		// garbage — so the outer link verifies and the middle one is the
+		// first invalid link, as in a real mid-path forgery.
+		bad := items[2].Key.Clone()
+		bad.Sigs[1] = signers[1].Sign([]byte("forged middle link"))
+		bad.Sigs[0] = signers[0].Sign(bad.Sigs[1])
+		items[2].Key = bad
+
+		b := NewBatch(dir, workers)
+		for _, it := range items {
+			b.Add(it.Key, it.Lock, it.Leader)
+		}
+		if got := b.Settle(cache); got != 1 {
+			t.Fatalf("workers=%d: Settle failures = %d, want 1", workers, got)
+		}
+		for i, it := range b.Items() {
+			if i == 2 {
+				if !errors.Is(it.Err, ErrBadSignature) {
+					t.Fatalf("workers=%d: corrupt item error = %v, want ErrBadSignature", workers, it.Err)
+				}
+				if !strings.Contains(it.Err.Error(), "link 1 (vertex 1)") {
+					t.Fatalf("workers=%d: corrupt item error %q does not attribute link 1 (vertex 1)", workers, it.Err)
+				}
+				continue
+			}
+			if it.Err != nil {
+				t.Fatalf("workers=%d: innocent item %d failed: %v", workers, i, it.Err)
+			}
+		}
+
+		// Not poisoned: the corrupt chain still fails through the cached
+		// verifier, and so does a batch retry.
+		if err := bad.VerifyCryptoExtended(items[2].Lock, items[2].Leader, dir, cache); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("workers=%d: corrupt chain accepted after batch: %v", workers, err)
+		}
+		b2 := NewBatch(dir, workers)
+		b2.Add(bad, items[2].Lock, items[2].Leader)
+		if got := b2.Settle(cache); got != 1 {
+			t.Fatalf("workers=%d: corrupt chain accepted on batch retry", workers)
+		}
+	}
+}
+
+// TestBatchAgreesWithSingleVerify pins the fallback error semantics: for
+// every corruption class, the batch item error matches what a lone
+// VerifyCrypto returns.
+func TestBatchAgreesWithSingleVerify(t *testing.T) {
+	dir, signers, items := batchFixture(t, 1)
+	base, lock, leader := items[0].Key, items[0].Lock, items[0].Leader
+
+	corrupt := map[string]func() (Hashkey, Lock, digraph.Vertex){
+		"valid":        func() (Hashkey, Lock, digraph.Vertex) { return base, lock, leader },
+		"bad-sig":      func() (Hashkey, Lock, digraph.Vertex) { k := base.Clone(); k.Sigs[0][1] ^= 1; return k, lock, leader },
+		"wrong-secret": func() (Hashkey, Lock, digraph.Vertex) { k := base.Clone(); k.Secret[0] ^= 1; return k, lock, leader },
+		"wrong-leader": func() (Hashkey, Lock, digraph.Vertex) { return base, lock, leader - 1 },
+		"chain-length": func() (Hashkey, Lock, digraph.Vertex) { k := base.Clone(); k.Sigs = k.Sigs[1:]; return k, lock, leader },
+		"unknown-signer": func() (Hashkey, Lock, digraph.Vertex) {
+			k := base.Clone()
+			k.Path = k.Path.Clone()
+			k.Path[0] = 99
+			return k, lock, leader
+		},
+	}
+	_ = signers
+	for name, mk := range corrupt {
+		key, l, ld := mk()
+		single := key.VerifyCrypto(l, ld, dir)
+		b := NewBatch(dir, 2)
+		b.Add(key, l, ld)
+		b.Settle(nil)
+		batch := b.Items()[0].Err
+		if (single == nil) != (batch == nil) {
+			t.Fatalf("%s: single=%v batch=%v", name, single, batch)
+		}
+		if single != nil && batch.Error() != single.Error() {
+			t.Fatalf("%s: error mismatch: single %q, batch %q", name, single, batch)
+		}
+	}
+}
+
+// TestBatchNilCache settles without a cache: pure verification, dedup
+// still applies, outcomes unchanged.
+func TestBatchNilCache(t *testing.T) {
+	dir, _, items := batchFixture(t, 4)
+	b := NewBatch(dir, 4)
+	for _, it := range items {
+		b.Add(it.Key, it.Lock, it.Leader)
+	}
+	if got := b.Settle(nil); got != 0 {
+		t.Fatalf("Settle(nil) failures = %d, want 0", got)
+	}
+}
+
+// TestVerifyCacheBatchWorkers pins that the miss path agrees with the
+// serial walk when links fan out across workers.
+func TestVerifyCacheBatchWorkers(t *testing.T) {
+	dir, _, items := batchFixture(t, 1)
+	key, lock, leader := items[0].Key, items[0].Lock, items[0].Leader
+
+	cache := NewVerifyCache(0)
+	cache.SetBatchWorkers(4)
+	if got := cache.BatchWorkers(); got != 4 {
+		t.Fatalf("BatchWorkers = %d, want 4", got)
+	}
+	if err := key.VerifyCryptoExtended(lock, leader, dir, cache); err != nil {
+		t.Fatalf("parallel miss walk rejected a valid chain: %v", err)
+	}
+	bad := key.Clone()
+	bad.Sigs[2][0] ^= 1
+	err := bad.VerifyCryptoExtended(lock, leader, dir, NewVerifyCache(0))
+	werr := func() error {
+		c := NewVerifyCache(0)
+		c.SetBatchWorkers(4)
+		return bad.VerifyCryptoExtended(lock, leader, dir, c)
+	}()
+	if !errors.Is(werr, ErrBadSignature) || err.Error() != werr.Error() {
+		t.Fatalf("parallel miss walk error %v, serial %v", werr, err)
+	}
+}

@@ -46,6 +46,10 @@ type VerifyCache struct {
 	hits     atomic.Uint64
 	fastpath atomic.Uint64
 	misses   atomic.Uint64
+
+	// batchWorkers > 1 lets miss-path chain walks spread their link
+	// verifications across a worker pool (see SetBatchWorkers).
+	batchWorkers atomic.Int32
 }
 
 // DefaultVerifyCacheEntries bounds each cache generation when NewVerifyCache
@@ -106,6 +110,25 @@ func (c *VerifyCache) contains(d [32]byte) bool {
 		return true
 	}
 	return false
+}
+
+// SetBatchWorkers sets how many goroutines a cache-miss chain walk may
+// fan its link verifications across (<= 1 keeps walks serial). The engine
+// sets it to its worker count, so cold chains verify batch-style — all
+// links in flight at once — instead of link by link.
+func (c *VerifyCache) SetBatchWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.batchWorkers.Store(int32(n))
+}
+
+// BatchWorkers reports the current miss-path fan-out (minimum 1).
+func (c *VerifyCache) BatchWorkers() int {
+	if n := c.batchWorkers.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
 }
 
 func (c *VerifyCache) noteHit()      { c.hits.Add(1) }
@@ -249,18 +272,18 @@ func (h Hashkey) VerifyCryptoExtended(lock Lock, leader digraph.Vertex, dir Dire
 		}
 	}
 
-	// Slow path: walk the whole chain, then seed the cache with every
-	// suffix — a valid chain's suffixes are themselves valid chains ending
-	// at the same leader.
+	// Slow path: verify the whole chain — batch-style across the worker
+	// pool when the cache has one (all links are independent ed25519
+	// checks) — then seed the cache with every suffix: a valid chain's
+	// suffixes are themselves valid chains ending at the same leader.
 	cache.noteMiss()
 	k := len(h.Path) - 1
-	for i := 0; i <= k; i++ {
-		msg := h.Secret[:]
-		if i < k {
-			msg = h.Sigs[i+1]
-		}
-		if !ed25519.Verify(pubs[i], msg, h.Sigs[i]) {
-			return fmt.Errorf("%w: link %d (vertex %d)", ErrBadSignature, i, h.Path[i])
+	links := chainLinks(&h, pubs, 0, k+1)
+	if !verifyLinks(links, cache.BatchWorkers()) {
+		for i := range links {
+			if !links[i].ok {
+				return fmt.Errorf("%w: link %d (vertex %d)", ErrBadSignature, i, h.Path[i])
+			}
 		}
 	}
 	cache.add(full)

@@ -261,10 +261,13 @@ func (s *Swap) invokeUnlock(call chain.Call) (chain.Result, error) {
 	}
 	s.unlocked[i] = true
 	s.unlockedAt[i] = call.Now
-	s.keys[i] = args.Key.Clone()
+	// One defensive clone, shared by the stored key and the event: both are
+	// read-only from here (re-presentations Clone again before extending).
+	key := args.Key.Clone()
+	s.keys[i] = key
 	return chain.Result{
 		Note:  fmt.Sprintf("hashlock %d opened, path %v", i, args.Key.Path),
-		Event: UnlockedEvent{ArcID: s.p.ArcID, LockIndex: i, Key: args.Key.Clone()},
+		Event: UnlockedEvent{ArcID: s.p.ArcID, LockIndex: i, Key: key},
 	}, nil
 }
 

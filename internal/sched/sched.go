@@ -17,7 +17,13 @@
 //   - Virtual: a concurrent event-driven scheduler whose clock advances as
 //     fast as callbacks drain — goroutine-backed runtimes become CPU-bound
 //     instead of wall-clock-bound, so thousand-swap engine loads clear in
-//     milliseconds.
+//     milliseconds. It dispatches in one of three modes: serialized
+//     (NewVirtual — same-tick events in schedule order, fully
+//     deterministic), concurrent (NewVirtualConcurrent — one goroutine per
+//     same-tick event, racy ordering), or striped-parallel
+//     (NewVirtualParallel — same-tick events partitioned by caller-supplied
+//     stripe key onto a worker pool with a per-tick barrier, so
+//     deterministic runs use every core).
 //
 // The Hold mechanism is what makes Virtual safe under real concurrency:
 // any in-flight work (a delivery sitting in a party mailbox, a runtime
@@ -59,6 +65,30 @@ type Scheduler interface {
 	// function must be called exactly once; it is idempotent. Real
 	// schedulers (where time advances on its own) return a no-op.
 	Hold() func()
+}
+
+// KeyedScheduler is implemented by schedulers that can partition same-tick
+// events by a caller-supplied stripe key. Events sharing a key execute
+// serialized in scheduling order; events with different keys may execute
+// concurrently (NewVirtualParallel) or are simply interleaved in schedule
+// order (every other mode). Key 0 means "unkeyed" and forms its own serial
+// stripe.
+type KeyedScheduler interface {
+	Scheduler
+	// AtKeyed is At with a stripe key.
+	AtKeyed(t vtime.Ticks, key uint64, fn func()) Timer
+}
+
+// SerialDispatcher is implemented by schedulers whose dispatch preserves a
+// serialization guarantee strong enough for inline delivery execution:
+// events sharing a stripe key (or everything, for a fully serialized
+// scheduler) never run concurrently, and scheduling order within a stripe
+// is execution order. The conc runtime uses it to decide whether
+// synchronous deliveries may bypass party mailboxes.
+type SerialDispatcher interface {
+	// SerializedDispatch reports whether same-stripe events are serialized
+	// in scheduling order.
+	SerializedDispatch() bool
 }
 
 // ---------------------------------------------------------------------------
@@ -127,8 +157,14 @@ const (
 )
 
 type vevent struct {
-	at    vtime.Ticks
+	at vtime.Ticks
+	// prio orders events within a tick: all prio-0 events of a tick run
+	// before any prio-1 (tail) event. The clearing engine schedules its
+	// clearing pass at tail priority so it observes the same
+	// whole-tick-drained queue in serialized and parallel modes.
+	prio  int8
 	seq   int64
+	key   uint64
 	fn    func()
 	state int
 }
@@ -139,6 +175,9 @@ func (h veventHeap) Len() int { return len(h) }
 func (h veventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
@@ -174,7 +213,14 @@ type Virtual struct {
 	// concurrent dispatches all events of one tick in parallel instead of
 	// in scheduling order.
 	concurrent bool
-	done       chan struct{}
+	// workers > 0 selects striped-parallel dispatch: each (tick, prio)
+	// batch is partitioned by stripe key onto the worker pool, serialized
+	// in scheduling order within each stripe, with a barrier before the
+	// clock moves on.
+	workers int
+	workCh  chan []*vevent
+	workWG  sync.WaitGroup
+	done    chan struct{}
 }
 
 // NewVirtual returns a running virtual-time scheduler starting at tick 0.
@@ -200,6 +246,44 @@ func NewVirtualConcurrent() *Virtual {
 	return v
 }
 
+// NewVirtualParallel returns a virtual scheduler that partitions each
+// (tick, priority) batch of events by stripe key (see AtKeyed) onto a pool
+// of `workers` goroutines. Events sharing a stripe run serialized in
+// scheduling order on one worker; distinct stripes run concurrently. The
+// dispatcher barriers on the whole batch (holds) before the clock advances,
+// so per-stripe state machines observe exactly the serialized schedule
+// while independent stripes — independent swaps, in the engine — use every
+// core. With workers <= 1 this degenerates to NewVirtual.
+func NewVirtualParallel(workers int) *Virtual {
+	if workers <= 1 {
+		return NewVirtual()
+	}
+	v := &Virtual{
+		workers: workers,
+		workCh:  make(chan []*vevent, workers*4),
+		done:    make(chan struct{}),
+	}
+	v.cond = sync.NewCond(&v.mu)
+	v.workWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go v.worker()
+	}
+	go v.loop()
+	return v
+}
+
+// worker drains stripes: each stripe's events run in order, then the whole
+// stripe's holds release at once.
+func (v *Virtual) worker() {
+	defer v.workWG.Done()
+	for stripe := range v.workCh {
+		for _, e := range stripe {
+			e.fn()
+		}
+		v.releaseN(len(stripe))
+	}
+}
+
 // Now implements vtime.Clock.
 func (v *Virtual) Now() vtime.Ticks {
 	v.mu.Lock()
@@ -209,6 +293,27 @@ func (v *Virtual) Now() vtime.Ticks {
 
 // At implements Scheduler. After Close the callback is silently dropped.
 func (v *Virtual) At(t vtime.Ticks, fn func()) Timer {
+	return v.schedule(t, 0, 0, fn)
+}
+
+// AtKeyed implements KeyedScheduler: fn joins the stripe identified by key
+// at tick t. Under NewVirtualParallel same-stripe events are serialized in
+// scheduling order and distinct stripes run concurrently; under the other
+// modes the key is recorded but dispatch is unchanged. Key 0 is the shared
+// unkeyed stripe.
+func (v *Virtual) AtKeyed(t vtime.Ticks, key uint64, fn func()) Timer {
+	return v.schedule(t, 0, key, fn)
+}
+
+// AtTail schedules fn at tail priority: it runs only after every normal
+// event of tick t (including cascades scheduled for t while the tick is
+// draining) has run. The clearing engine uses it so its per-tick clearing
+// pass observes the same fully-drained queue in every dispatch mode.
+func (v *Virtual) AtTail(t vtime.Ticks, fn func()) Timer {
+	return v.schedule(t, 1, 0, fn)
+}
+
+func (v *Virtual) schedule(t vtime.Ticks, prio int8, key uint64, fn func()) Timer {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.closed {
@@ -218,11 +323,16 @@ func (v *Virtual) At(t vtime.Ticks, fn func()) Timer {
 		t = v.now
 	}
 	v.seq++
-	e := &vevent{at: t, seq: v.seq, fn: fn}
+	e := &vevent{at: t, prio: prio, seq: v.seq, key: key, fn: fn}
 	heap.Push(&v.queue, e)
 	v.cond.Broadcast()
 	return &virtualTimer{v: v, e: e}
 }
+
+// SerializedDispatch implements SerialDispatcher: serialized and
+// striped-parallel modes both guarantee same-stripe events never run
+// concurrently and execute in scheduling order; concurrent mode does not.
+func (v *Virtual) SerializedDispatch() bool { return !v.concurrent }
 
 // Hold implements Scheduler: time stands still until the returned release
 // is called. Safe to call from callbacks and from external goroutines.
@@ -275,8 +385,16 @@ func (v *Virtual) loop() {
 		}
 		if v.closed {
 			v.mu.Unlock()
+			if v.workCh != nil {
+				close(v.workCh)
+				v.workWG.Wait()
+			}
 			close(v.done)
 			return
+		}
+		if v.workers > 1 {
+			v.dispatchStriped()
+			continue
 		}
 		if !v.concurrent {
 			e := heap.Pop(&v.queue).(*vevent)
@@ -329,9 +447,67 @@ func (v *Virtual) loop() {
 	}
 }
 
+// dispatchStriped pops the earliest (tick, priority) batch, partitions it
+// by stripe key preserving scheduling order, and fans the stripes out to
+// the worker pool. Called with v.mu held; returns with it released. The
+// holds taken for the batch form the barrier: the dispatcher cannot pop
+// the next batch (or advance time) until every stripe has drained, and
+// cascades that land back on the current (tick, priority) join the next
+// batch before any later one.
+func (v *Virtual) dispatchStriped() {
+	t, p := v.queue[0].at, v.queue[0].prio
+	var batch []*vevent
+	for len(v.queue) > 0 && v.queue[0].at == t && v.queue[0].prio == p {
+		e := heap.Pop(&v.queue).(*vevent)
+		if e.state != vePending {
+			continue
+		}
+		e.state = veFired
+		batch = append(batch, e)
+	}
+	if len(batch) == 0 {
+		v.mu.Unlock()
+		return
+	}
+	if t > v.now {
+		v.now = t
+	}
+	v.holds += len(batch)
+	v.mu.Unlock()
+
+	// Partition by stripe key. Batch order is seq order (heap pops), so
+	// each stripe inherits scheduling order.
+	stripes := make(map[uint64][]*vevent, len(batch))
+	order := make([]uint64, 0, len(batch))
+	for _, e := range batch {
+		if _, ok := stripes[e.key]; !ok {
+			order = append(order, e.key)
+		}
+		stripes[e.key] = append(stripes[e.key], e)
+	}
+	if len(order) == 1 {
+		// One stripe: run inline on the dispatcher, same as serial mode.
+		for _, e := range batch {
+			e.fn()
+		}
+		v.releaseN(len(batch))
+		return
+	}
+	for _, k := range order {
+		v.workCh <- stripes[k]
+	}
+}
+
 func (v *Virtual) release() {
 	v.mu.Lock()
 	v.holds--
+	v.cond.Broadcast()
+	v.mu.Unlock()
+}
+
+func (v *Virtual) releaseN(n int) {
+	v.mu.Lock()
+	v.holds -= n
 	v.cond.Broadcast()
 	v.mu.Unlock()
 }

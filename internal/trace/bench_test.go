@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// BenchmarkTraceAppend guards the zero-allocation claim of the ring: one
+// atomic increment plus a value store per event, nothing on the heap.
+func BenchmarkTraceAppend(b *testing.B) {
+	l := NewLog(DefaultCap)
+	ev := Event{At: 42, Kind: KindUnlocked, Party: "p1", Arc: 3, Lock: 1, Detail: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append(ev)
+	}
+}
+
+// BenchmarkTraceAppendParallel exercises slot claiming under contention —
+// the engine shape, where every worker appends to one shared flight
+// recorder.
+func BenchmarkTraceAppendParallel(b *testing.B) {
+	l := NewLog(DefaultCap)
+	ev := Event{At: 42, Kind: KindUnlocked, Party: "p1", Arc: 3, Lock: 1}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Append(ev)
+		}
+	})
+}
+
+// BenchmarkTraceFilter guards the pre-sized Filter: one result allocation
+// per call (plus the snapshot), never a growth series.
+func BenchmarkTraceFilter(b *testing.B) {
+	l := NewLog(DefaultCap)
+	for i := 0; i < DefaultCap; i++ {
+		k := KindContractPublished
+		if i%2 == 0 {
+			k = KindUnlocked
+		}
+		l.Append(Event{At: vtime.Ticks(i), Kind: k, Arc: i % 5, Lock: -1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evs := l.Filter(func(e Event) bool { return e.Kind == KindUnlocked })
+		if len(evs) != DefaultCap/2 {
+			b.Fatalf("filter returned %d events, want %d", len(evs), DefaultCap/2)
+		}
+	}
+}

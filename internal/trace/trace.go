@@ -4,6 +4,13 @@
 // The runner, chains, and parties append events; tests assert orderings and
 // deadlines against the log; examples and cmd/swapsim render it as the
 // step-by-step timelines of the paper's Figures 1 and 2.
+//
+// The log is a fixed-size ring of value records: Append claims a slot with
+// one atomic increment and stores the Event struct by value — no
+// per-append allocation, no global mutex — and formatting is deferred to
+// render time. Under sustained engine load the ring acts as a flight
+// recorder: the most recent DefaultCap events survive, older ones are
+// overwritten, and Dropped reports how many were lost.
 package trace
 
 import (
@@ -11,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
@@ -96,42 +104,133 @@ func (e Event) String() string {
 	return b.String()
 }
 
-// Log is an append-only, thread-safe event log. The zero value is ready to
-// use.
+// DefaultCap is the ring capacity a zero-value Log initializes itself to
+// on first use: large enough that single-swap runs and scenario tests never
+// wrap, small enough that an engine-wide shared log stays cache-resident.
+const DefaultCap = 1 << 12
+
+// slot is one ring cell. seq is the 1-based global append index of the
+// event stored in it (0 = never written); the per-slot mutex orders the
+// rare case of two appends a full ring apart racing for the same cell, and
+// the seq guard makes the newer event win regardless of arrival order.
+type slot struct {
+	mu  sync.Mutex
+	seq uint64
+	ev  Event
+}
+
+// Log is an append-only, thread-safe event log backed by a fixed-size ring
+// of value records. The zero value is ready to use (capacity DefaultCap);
+// NewLog picks an explicit capacity. When the ring wraps, the oldest
+// events are overwritten — Len still counts every append, and Dropped
+// reports how many records were lost to overwrite.
 type Log struct {
-	mu     sync.Mutex
-	events []Event
+	init  sync.Once
+	mask  uint64
+	slots []slot
+	next  atomic.Uint64 // total events ever appended
 }
 
-// Append adds an event to the log.
+// NewLog returns a log whose ring holds at least capacity events (rounded
+// up to a power of two; capacity <= 0 means DefaultCap).
+func NewLog(capacity int) *Log {
+	l := &Log{}
+	l.setup(capacity)
+	return l
+}
+
+func (l *Log) setup(capacity int) {
+	l.init.Do(func() {
+		if capacity <= 0 {
+			capacity = DefaultCap
+		}
+		c := 1
+		for c < capacity {
+			c <<= 1
+		}
+		l.mask = uint64(c - 1)
+		l.slots = make([]slot, c)
+	})
+}
+
+// Append adds an event to the log. One atomic increment claims a slot; the
+// event is stored by value, so the hot path allocates nothing.
 func (l *Log) Append(e Event) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.events = append(l.events, e)
+	l.setup(0)
+	seq := l.next.Add(1)
+	s := &l.slots[(seq-1)&l.mask]
+	s.mu.Lock()
+	if seq > s.seq { // stale wrap-around writer lost the slot: drop it
+		s.seq = seq
+		s.ev = e
+	}
+	s.mu.Unlock()
 }
 
-// Len reports the number of events recorded so far.
+// Len reports the number of events appended so far (including any since
+// overwritten by ring wrap-around).
 func (l *Log) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.events)
+	return int(l.next.Load())
 }
 
-// Events returns a copy of the log, in append order.
-func (l *Log) Events() []Event {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
+// Cap reports the ring capacity: the maximum number of events retained.
+func (l *Log) Cap() int {
+	l.setup(0)
+	return len(l.slots)
+}
+
+// Dropped reports how many events have been overwritten by wrap-around.
+func (l *Log) Dropped() int {
+	l.setup(0)
+	if n := l.Len(); n > len(l.slots) {
+		return n - len(l.slots)
+	}
+	return 0
+}
+
+// retained returns the surviving events in append order. The snapshot is
+// not atomic across slots — appends racing with it may or may not appear —
+// which is the flight-recorder contract: callers wanting exact logs read
+// after their run quiesces, as every test and renderer does.
+func (l *Log) retained() []Event {
+	l.setup(0)
+	n := l.Len()
+	if n > len(l.slots) {
+		n = len(l.slots)
+	}
+	type rec struct {
+		seq uint64
+		ev  Event
+	}
+	recs := make([]rec, 0, n)
+	for i := range l.slots {
+		s := &l.slots[i]
+		s.mu.Lock()
+		if s.seq > 0 {
+			recs = append(recs, rec{s.seq, s.ev})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	out := make([]Event, len(recs))
+	for i, r := range recs {
+		out[i] = r.ev
+	}
 	return out
 }
 
-// Filter returns the events for which keep returns true, in append order.
+// Events returns a copy of the retained events, in append order.
+func (l *Log) Events() []Event {
+	return l.retained()
+}
+
+// Filter returns the retained events for which keep returns true, in
+// append order. The result is pre-sized from the retained count, so a
+// filter over a full ring does one allocation instead of a growth series.
 func (l *Log) Filter(keep func(Event) bool) []Event {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var out []Event
-	for _, e := range l.events {
+	evs := l.retained()
+	out := make([]Event, 0, len(evs))
+	for _, e := range evs {
 		if keep(e) {
 			out = append(out, e)
 		}
