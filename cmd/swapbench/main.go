@@ -9,8 +9,10 @@
 //	swapbench -engine-json -arrival-rate 4000 [-profile poisson] [-vtime]
 //	swapbench -openloop-json
 //	swapbench -bench-json
-//	swapbench -scenario all [-scenario-seed N]
+//	swapbench -scenario all [-scenario-seed N] [-scenario-parallel] [-scenario-shards N]
 //	swapbench -recovery-json
+//	swapbench -parallel-json [-parallel-repeat N] [-parallel-rings N]
+//	swapbench -shard-json [-shard-repeat N] [-shard-rings N]
 //
 // With -scenario it runs seed-replayable adversarial scenarios (open-
 // loop load with injected deviation strategies on the deterministic
@@ -40,7 +42,11 @@
 // trajectory point: the engine sweep in all three time modes plus the
 // hot-path micro-benchmarks (hashkey verification cached/uncached,
 // keyring vs fresh-keygen setup) — the format committed as BENCH_NN.json
-// files.
+// files. With -parallel-json it emits the BENCH_04 dispatch-mode sweep
+// (worker ladder × serial-det/parallel-det/concurrent with a
+// batch-verify ablation), and with -shard-json the BENCH_05 sharded
+// sweep (shard-count ladder × cross-shard traffic ratio on the
+// striped-parallel dispatcher).
 package main
 
 import (
@@ -58,6 +64,7 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
 	"github.com/go-atomicswap/atomicswap/internal/engine/scenario"
+	"github.com/go-atomicswap/atomicswap/internal/engine/shard"
 	"github.com/go-atomicswap/atomicswap/internal/expt"
 	"github.com/go-atomicswap/atomicswap/internal/graphgen"
 	"github.com/go-atomicswap/atomicswap/internal/hashkey"
@@ -266,7 +273,7 @@ func openLoopTrajectory() error {
 // the CI replay job diffs exactly that, and diffs a -scenario-parallel
 // run against the serial one too (parallel dispatch is an execution
 // knob, not a schedule knob). A safety violation fails the command.
-func runScenarios(name string, seedOffset int64, parallel bool) error {
+func runScenarios(name string, seedOffset int64, parallel bool, shards int) error {
 	var scs []scenario.Scenario
 	if name == "all" {
 		scs = scenario.Suite(seedOffset)
@@ -280,6 +287,7 @@ func runScenarios(name string, seedOffset int64, parallel bool) error {
 	violations := 0
 	for _, sc := range scs {
 		sc.Parallel = parallel
+		sc.ExecShards = shards
 		res, err := scenario.Run(sc)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)
@@ -434,6 +442,9 @@ func keyringMicro() {
 // concurrent) so the trajectory stays honest. Every point reports the
 // best of `repeat` runs: throughput points measure capability, and on a
 // shared box the max is the least noisy estimator of it.
+//
+// Each ladder point's JSON carries "concurrency" (the worker count) and
+// "rings" (the point's TOTAL ring load, -parallel-rings × workers).
 func parallelSweep(repeat, ringsPerWorker int) error {
 	if repeat < 1 {
 		repeat = 1
@@ -495,6 +506,78 @@ func parallelSweep(repeat, ringsPerWorker int) error {
 		func(cfg *engine.Config) { cfg.Virtual = true })
 }
 
+// shardSweep is the BENCH_05 measurement: the sharded clearing engine
+// across a shard-count ladder (1/2/4/8) crossed with cross-shard traffic
+// ratios (0/10/50%), on striped-parallel deterministic dispatch — the
+// mode where shards are the dispatch stripes, so this is the sweep
+// behind the "shards are the unit of multicore scaling" claim. The load
+// is a fixed total ring budget (strong scaling: more shards, same work),
+// generated against each point's own shard placement map; at 1 shard
+// every ring is necessarily local, so the three ratio rows collapse to
+// the same single-book baseline the speedups are measured against.
+// Every run drives loadgen.Drive's full contract — drain, conservation
+// audit over every shard ledger, zero failed swaps — and each point
+// reports the best of `repeat` runs, same estimator as -parallel-json.
+func shardSweep(repeat, rings int) error {
+	if repeat < 1 {
+		repeat = 1
+	}
+	run := func(shards int, ratio float64) error {
+		offers := 3 * rings
+		var best *loadgen.Report
+		for r := 0; r < repeat; r++ {
+			scfg := shard.Config{
+				Shards: shards,
+				Engine: engine.Config{
+					Workers:    8,
+					Tick:       time.Millisecond,
+					Delta:      vtime.Duration(20),
+					ClearEvery: 2,
+					MaxBatch:   4096,
+					Seed:       int64(1000*shards) + int64(100*ratio) + int64(r),
+					Parallel:   true,
+					// Deterministic mode forgoes clear-ahead backpressure;
+					// let the whole book go live so the sweep measures
+					// clearing capacity, not the default live gate.
+					MaxLive: offers + 64,
+				},
+			}
+			rep, err := loadgen.RunShardedOpenLoad(scfg, loadgen.Config{
+				Offers: offers,
+				Rate:   2e4,
+				Seed:   int64(1000*shards) + int64(100*ratio),
+				// Shedding would make points at different shard counts
+				// serve different books; overload here is deliberate.
+				MaxPending: -1,
+				Shards:     shards,
+				CrossRatio: ratio,
+			})
+			if err != nil {
+				return fmt.Errorf("shard sweep %d shards, cross %.0f%%: %w",
+					shards, 100*ratio, err)
+			}
+			if best == nil || rep.SwapsPerSec > best.SwapsPerSec {
+				best = &rep
+			}
+		}
+		body, err := json.Marshal(best)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("{\"bench\":\"engine_sharded\",\"mode\":\"parallel-det\",\"shards\":%d,\"cross_ratio\":%.2f,\"rings\":%d,\"report\":%s}\n",
+			shards, ratio, rings, body)
+		return nil
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, ratio := range []float64{0, 0.1, 0.5} {
+			if err := run(shards, ratio); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func benchJSON() error {
 	for _, hops := range []int{0, 4, 12} {
 		if err := hashkeyMicro(hops); err != nil {
@@ -523,11 +606,23 @@ func main() {
 	scenarioFlag := flag.String("scenario", "", "run a deterministic adversarial scenario by name ('all' = built-in suite) and emit replay-stable digest JSON")
 	scenarioSeed := flag.Int64("scenario-seed", 0, "seed offset applied to every -scenario run (same offset ⇒ byte-identical output)")
 	scenarioParallel := flag.Bool("scenario-parallel", false, "run -scenario on the striped-parallel dispatcher (digests must stay byte-identical; CI diffs serial vs parallel output)")
+	scenarioShards := flag.Int("scenario-shards", 0, "run -scenario on a sharded engine with this many shards (0 = the scenario's own shard count; digests of shard-local scenarios must stay byte-identical to 1-shard runs — CI diffs them)")
 	recoveryFlag := flag.Bool("recovery-json", false, "emit the crash-recovery point (engine-crash@tick digest + 10k-event WAL recovery timing) as JSON and exit")
 	parallelJSON := flag.Bool("parallel-json", false, "emit the BENCH_04 dispatch-mode sweep (worker ladder × serial-det/parallel-det/concurrent, batch-verify ablation) as JSON and exit")
 	parallelRepeat := flag.Int("parallel-repeat", 3, "runs per -parallel-json point (best-of)")
-	parallelRings := flag.Int("parallel-rings", 16, "rings per worker in each -parallel-json point")
+	parallelRings := flag.Int("parallel-rings", 16, "rings per worker at each -parallel-json ladder point (the JSON \"rings\" field is this × \"concurrency\")")
+	shardJSON := flag.Bool("shard-json", false, "emit the BENCH_05 sharded sweep (1/2/4/8 shards × cross-shard ratio 0/10/50%, striped-parallel dispatch) as JSON and exit")
+	shardRepeat := flag.Int("shard-repeat", 3, "runs per -shard-json point (best-of)")
+	shardRings := flag.Int("shard-rings", 192, "total rings at every -shard-json point (fixed across shard counts: strong scaling)")
 	flag.Parse()
+
+	if *shardJSON {
+		if err := shardSweep(*shardRepeat, *shardRings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parallelJSON {
 		if err := parallelSweep(*parallelRepeat, *parallelRings); err != nil {
@@ -546,7 +641,7 @@ func main() {
 	}
 
 	if *scenarioFlag != "" {
-		if err := runScenarios(*scenarioFlag, *scenarioSeed, *scenarioParallel); err != nil {
+		if err := runScenarios(*scenarioFlag, *scenarioSeed, *scenarioParallel, *scenarioShards); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -11,7 +11,16 @@
 //	      [-clear-ahead 64] [-seed 1] [-json]
 //	swapd -arrival-rate 2000 [-profile poisson] [-party-pool 64]
 //	      [-max-pending 4096] ...
+//	swapd -shards 4 [-cross-ratio 0.1] ...
 //	swapd -data-dir /tmp/swapd [-snapshot-every 4096] ...
+//
+// With -shards N clearing is partitioned across N asset-sharded engines
+// (each with its own order book, reservations, and clearing loop) plus a
+// two-level coordinator that clears rings spanning shards; with
+// -arrival-rate the generated rings are placed into per-shard chain
+// pools, and -cross-ratio makes that fraction of rings span two shards.
+// -shards composes with -data-dir: the whole deployment logs into one
+// WAL and a restart may recover onto a different shard count.
 //
 // With -data-dir the engine logs every event to a durable write-ahead
 // log (with periodic snapshot truncation) in that directory. On a
@@ -48,16 +57,24 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/durable"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
+	"github.com/go-atomicswap/atomicswap/internal/engine/shard"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
 
 var chainNames = []string{"btc", "eth", "sol", "ada", "dot", "xmr", "ltc", "atom"}
 
+// clearingEngine is the engine surface swapd drives: the single engine
+// and the asset-sharded engine both satisfy it.
+type clearingEngine interface {
+	loadgen.DriveTarget
+	Start() error
+}
+
 // runOpenLoop streams an open-loop load into the started engine and
 // reports, mirroring the closed-loop tail of main.
-func runOpenLoop(eng *engine.Engine, rate float64, profile string,
-	offers, ringMin, ringMax, partyPool, maxPending int,
-	seed int64, timeout time.Duration, jsonOut bool) {
+func runOpenLoop(eng clearingEngine, rate float64, profile string,
+	offers, ringMin, ringMax, partyPool, maxPending, shards int,
+	crossRatio float64, seed int64, timeout time.Duration, jsonOut bool) {
 	proc, err := loadgen.ParseProfile(profile)
 	if err != nil {
 		log.Fatal(err)
@@ -73,6 +90,8 @@ func runOpenLoop(eng *engine.Engine, rate float64, profile string,
 		PartyPool:  partyPool,
 		MaxPending: maxPending,
 		Seed:       seed,
+		Shards:     shards,
+		CrossRatio: crossRatio,
 	})
 	if err != nil {
 		log.Fatalf("open-loop run: %v", err)
@@ -119,6 +138,32 @@ func durableEngine(cfg engine.Config, dir string, snapEvery int) (*engine.Engine
 	return engine.New(cfg), nil
 }
 
+// durableShardedEngine is durableEngine for -shards: the whole sharded
+// deployment logs into one WAL, and recovery re-partitions the folded
+// state onto the (possibly different) shard count of this run.
+func durableShardedEngine(cfg shard.Config, dir string, snapEvery int) (*shard.ShardedEngine, error) {
+	eng, rec, err := shard.Recover(cfg, durable.RecoverOptions{
+		Dir:           dir,
+		Attach:        true,
+		SnapshotEvery: snapEvery,
+	})
+	if err == nil {
+		fmt.Fprintf(os.Stderr,
+			"recovered %s onto %d shards: %d events replayed, %d orders resumed, %d refunded (%.1fms)\n",
+			dir, cfg.Shards, rec.Events, rec.Resumed, rec.Refunded, rec.WallMs)
+		return eng, nil
+	}
+	if !errors.Is(err, durable.ErrNoState) {
+		return nil, err
+	}
+	store, err := durable.Open(durable.Options{Dir: dir, SnapshotEvery: snapEvery})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Engine.Store = store
+	return shard.New(cfg), nil
+}
+
 func main() {
 	var (
 		offers    = flag.Int("offers", 3000, "approximate number of offers to submit")
@@ -142,6 +187,9 @@ func main() {
 		profile     = flag.String("profile", "poisson", "arrival process for -arrival-rate: constant, poisson, burst[:n], ramp[:from:to]")
 		partyPool   = flag.Int("party-pool", 0, "open-loop: reuse this many ring-group identities (0 = fresh parties per ring)")
 		maxPending  = flag.Int("max-pending", 0, "open-loop shed threshold on the pending book (0 = default, negative = never shed)")
+
+		shards     = flag.Int("shards", 0, "partition clearing across N asset-sharded engines plus a cross-shard coordinator (0 = single engine)")
+		crossRatio = flag.Float64("cross-ratio", 0, "with -shards and -arrival-rate: fraction of generated rings that span two shards (cross-shard escalation load)")
 
 		dataDir   = flag.String("data-dir", "", "durable state directory: log engine events to a WAL and recover from it on restart")
 		snapEvery = flag.Int("snapshot-every", 4096, "with -data-dir, snapshot and truncate the WAL every N events")
@@ -167,14 +215,23 @@ func main() {
 		MaxDelta:      vtime.Duration(*maxDelta),
 		MaxClearAhead: *clrAhead,
 	}
-	var eng *engine.Engine
-	if *dataDir != "" {
-		var err error
-		if eng, err = durableEngine(cfg, *dataDir, *snapEvery); err != nil {
-			log.Fatal(err)
-		}
-	} else {
+	if *crossRatio > 0 && (*shards <= 1 || *arrivalRate <= 0) {
+		log.Fatal("-cross-ratio needs -shards > 1 and -arrival-rate")
+	}
+	var eng clearingEngine
+	var err error
+	switch {
+	case *shards > 0 && *dataDir != "":
+		eng, err = durableShardedEngine(shard.Config{Shards: *shards, Engine: cfg}, *dataDir, *snapEvery)
+	case *shards > 0:
+		eng = shard.New(shard.Config{Shards: *shards, Engine: cfg})
+	case *dataDir != "":
+		eng, err = durableEngine(cfg, *dataDir, *snapEvery)
+	default:
 		eng = engine.New(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 	if err := eng.Start(); err != nil {
 		log.Fatal(err)
@@ -182,7 +239,7 @@ func main() {
 
 	if *arrivalRate > 0 {
 		runOpenLoop(eng, *arrivalRate, *profile, *offers, *ringMin, *ringMax,
-			*partyPool, *maxPending, *seed, *timeout, *jsonOut)
+			*partyPool, *maxPending, *shards, *crossRatio, *seed, *timeout, *jsonOut)
 		return
 	}
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/go-atomicswap/atomicswap/internal/chain"
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
@@ -17,7 +18,15 @@ import (
 // first intake — and every subsequent swap the party joins reuses it,
 // rebound to whatever vertex the clearing round assigns. This takes key
 // generation entirely off the per-swap clearing path: NewSetup with a
-// keyring performs zero keygens for known parties.
+// keyring performs zero keygens for known parties, and the stored signer
+// holds the expanded ed25519 private key, so the seed→keypair derivation
+// happens once per party rather than per sign — rebinding via Signer.At
+// shares the already-derived key material.
+//
+// Every signer the keyring hands out carries a shared sign meter:
+// Signs() reports the total ed25519 signatures produced under keyring
+// identities, which Throughput turns into a signs-per-swap figure so
+// signature-count regressions surface in benchmarks.
 //
 // The paper's security argument is indifferent to key lifetime: hashkey
 // verification binds signatures to the public keys in the published
@@ -33,6 +42,9 @@ type Keyring struct {
 	// identities recoverable. Called under the keyring lock; it must not
 	// call back into the keyring.
 	onCreate func(p chain.PartyID, seed []byte)
+	// signs counts every Sign made under a keyring identity (any vertex
+	// binding; see hashkey.Signer.SetMeter).
+	signs atomic.Uint64
 }
 
 // NewKeyring creates an empty keyring drawing key material from r
@@ -72,12 +84,17 @@ func (k *Keyring) Ensure(p chain.PartyID) (*hashkey.Signer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: keyring: generating identity for %s: %w", p, err)
 	}
+	s.SetMeter(&k.signs)
 	k.keys[p] = s
 	if k.onCreate != nil {
 		k.onCreate(p, seed)
 	}
 	return s, nil
 }
+
+// Signs reports the total number of ed25519 signatures produced by
+// keyring identities since creation.
+func (k *Keyring) Signs() uint64 { return k.signs.Load() }
 
 // OnCreate registers a callback observing every identity generated from
 // here on (party plus ed25519 seed). The durable engine wires this to its
@@ -102,6 +119,7 @@ func (k *Keyring) Restore(p chain.PartyID, seed []byte) error {
 	if err != nil {
 		return fmt.Errorf("core: keyring: restoring identity for %s: %w", p, err)
 	}
+	s.SetMeter(&k.signs)
 	k.keys[p] = s
 	return nil
 }

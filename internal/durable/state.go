@@ -91,6 +91,14 @@ type SwapState struct {
 	// Deadline is the swap's outermost timelock (max over parties), the
 	// budget the refund rule checks.
 	Deadline vtime.Ticks `json:"deadline,omitempty"`
+	// Prepared marks an AC3 prepare record (cross-shard coordinator:
+	// every involved asset reserved, commit not yet logged); Spans is
+	// the number of shards the swap's assets live on. Prepared without a
+	// commit (EvCleared) means the orders are still "pending" in the
+	// fold and resume normally — the in-memory reservations died with
+	// the crash, which is the refund of the prepare.
+	Prepared bool `json:"prepared,omitempty"`
+	Spans    int  `json:"spans,omitempty"`
 }
 
 // NewState returns an empty fold.
@@ -181,6 +189,12 @@ func (s *State) Apply(ev engine.Event) {
 				o.Status = "cleared"
 				o.Swap = ev.Swap
 			}
+		}
+	case engine.EvPrepared:
+		sw := s.swap(ev.Swap)
+		sw.Prepared = true
+		if ev.Count > sw.Spans {
+			sw.Spans = ev.Count
 		}
 	case engine.EvReserved:
 		// Reservations are engine-lifetime state: a recovered engine

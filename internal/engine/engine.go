@@ -166,6 +166,71 @@ type Config struct {
 	// tests that need the historical clear-everything burst (e.g. "crash
 	// with ≥N swaps mid-air") set it at least as high as the burst.
 	MaxLive int
+
+	// The fields below are the shard-runtime injection surface, set by
+	// internal/engine/shard when this engine is one shard (or the
+	// coordinator) of a ShardedEngine. A sharded deployment runs N inner
+	// engines over ONE scheduler, chain registry, keyring, verify cache,
+	// and trace ring; each injected field replaces the corresponding
+	// engine-owned resource, and the engine never closes or re-wires a
+	// resource it did not create (Stop leaves an injected scheduler
+	// running, an injected registry keeps its owner's delivery probe, an
+	// injected cache keeps its owner's batch-worker sizing — see
+	// DESIGN.md §11). All-nil keeps the engine fully self-contained: the
+	// historical single-engine shape.
+
+	// Scheduler, when set, is the shared time source the engine runs on
+	// instead of creating its own.
+	Scheduler sched.Scheduler
+	// Registry, when set, is the shared chain registry (one reservation
+	// table spanning every shard — cross-shard swaps reserve assets on
+	// every involved shard through it).
+	Registry *chain.Registry
+	// Keyring, when set, is the shared party keyring (parties may submit
+	// to any shard; their identity must not depend on which).
+	Keyring *core.Keyring
+	// Cache, when set, is the shared hashkey verification cache. The
+	// engine then leaves its batch-worker sizing alone: the owner sizes
+	// the pool once from the machine's total workers, so N shards do not
+	// oversubscribe the box with N independent default pools.
+	Cache *hashkey.VerifyCache
+	// Tracer, when set, is the shared trace flight recorder.
+	Tracer *trace.Log
+	// Probe, when set, replaces the engine-created delivery-lag probe
+	// (the shard owner fans registry observations out to per-shard
+	// probes so each shard's adaptive-Δ window consumes only its own
+	// evidence deterministically).
+	Probe *sched.LatencyProbe
+
+	// ShardStripe keys this engine's clearing ticks on the shared
+	// virtual scheduler: clearing passes of distinct shards run
+	// concurrently under striped-parallel dispatch while each shard's
+	// own pass stays serialized. 0 (the single-engine default) is the
+	// unkeyed serial stripe.
+	ShardStripe uint64
+	// TailPrio is the tail level clearing ticks run at (default 1).
+	// The sharded tick ladder is: protocol events (0) → shard clearing
+	// (1) → escalation sweep (2) → coordinator clearing (3), with a
+	// determinism barrier between levels.
+	TailPrio int8
+	// CanonicalSwapTags derives each swap's tag, seed, and stripe from
+	// the minimum order ID in its cleared group instead of an
+	// engine-local ordinal. With router-assigned global order IDs this
+	// makes swap identity a pure function of WHAT cleared, not which
+	// engine cleared it — the property that lets a 4-shard run and a
+	// 1-shard run of the same scenario produce byte-identical digests.
+	CanonicalSwapTags bool
+	// LogPrepared makes clearGroup append an AC3-style EvPrepared record
+	// after a group's reservations are all held and before the swap is
+	// committed (EvCleared). The coordinator engine sets it: a crash
+	// between the two records folds back to pending orders whose
+	// reservations died with the process — prepare is refunded, the
+	// orders resume and re-clear. See DESIGN.md §11.
+	LogPrepared bool
+	// ShardOfChain, when set with LogPrepared, maps a chain name to its
+	// shard so EvPrepared can record how many shards a cross-shard swap
+	// spans (a hook, not an import: engine must not depend on shard).
+	ShardOfChain func(chainName string) int
 }
 
 // Engine errors.
@@ -310,6 +375,10 @@ type Engine struct {
 	// settlement can orphan an escrowed leg by design).
 	recovered bool
 
+	// ownSched marks a scheduler the engine created (and must close on
+	// Stop); an injected one belongs to the shard owner.
+	ownSched bool
+
 	// rng drives adversary selection. It is NOT safe for concurrent use
 	// and is confined to the clearing tick (clearTick → clearRound →
 	// clearGroup, sequential by construction): never touch it from
@@ -318,6 +387,11 @@ type Engine struct {
 	rng         *rand.Rand
 	clearRounds int
 	drainStall  int
+	// roundTicks records the tick of every active round in deterministic
+	// mode (confined to the clearing goroutine, read after Stop): the
+	// sharded engine merges per-shard tick SETS, not counts, so the
+	// merged round count of a 4-shard run equals the 1-shard run's.
+	roundTicks []vtime.Ticks
 	// activeRounds is the count of clearing rounds that had live work
 	// (non-empty book, scheduled events, or a dispatch). Unlike
 	// clearRounds — which keeps ticking at wall speed while Drain polls —
@@ -400,56 +474,89 @@ func New(cfg Config) *Engine {
 	if cfg.MaxLive <= 0 {
 		cfg.MaxLive = 16 * cfg.Workers
 	}
+	if cfg.TailPrio < 1 {
+		cfg.TailPrio = 1
+	}
 	e := &Engine{
 		cfg:        cfg,
 		maxLive:    cfg.MaxLive,
-		probe:      sched.NewLatencyProbe(),
+		probe:      cfg.Probe,
 		agg:        metrics.NewAggregate(),
-		keyring:    core.NewKeyring(rand.New(rand.NewSource(cfg.Seed + 2))),
-		vcache:     hashkey.NewVerifyCache(0),
-		tracer:     trace.NewLog(trace.DefaultCap),
+		keyring:    cfg.Keyring,
+		vcache:     cfg.Cache,
+		tracer:     cfg.Tracer,
 		jobs:       make(chan *job, cfg.QueueDepth),
 		orders:     make(map[OrderID]*order),
 		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
 		drainCh:    make(chan struct{}, 1),
 		clearEvery: cfg.ClearEvery,
 	}
-	if !cfg.DisableBatchVerify {
-		// Cold chain walks may fan links across the pool — capped at the
-		// machine's parallelism, where extra fan-out is pure overhead.
-		bw := cfg.Workers
-		if n := runtime.GOMAXPROCS(0); bw > n {
-			bw = n
+	if e.probe == nil {
+		e.probe = sched.NewLatencyProbe()
+	}
+	if e.keyring == nil {
+		e.keyring = core.NewKeyring(rand.New(rand.NewSource(cfg.Seed + 2)))
+	}
+	if e.tracer == nil {
+		e.tracer = trace.NewLog(trace.DefaultCap)
+	}
+	if e.vcache == nil {
+		e.vcache = hashkey.NewVerifyCache(0)
+		if !cfg.DisableBatchVerify {
+			// Cold chain walks may fan links across the pool — capped at the
+			// machine's parallelism, where extra fan-out is pure overhead.
+			// An injected cache is deliberately left alone: its owner sizes
+			// the batch pool once for ALL engines sharing it, so N shards
+			// never stack N default-sized pools on one box.
+			bw := cfg.Workers
+			if n := runtime.GOMAXPROCS(0); bw > n {
+				bw = n
+			}
+			e.vcache.SetBatchWorkers(bw)
 		}
-		e.vcache.SetBatchWorkers(bw)
 	}
-	switch {
-	case cfg.Parallel:
-		// Striped-parallel dispatch: per-swap stripes on a worker pool
-		// with a per-tick barrier — replayable AND multicore.
-		e.vsched = sched.NewVirtualParallel(cfg.Workers)
-		e.sched = e.vsched
-	case cfg.Deterministic:
-		// Serialized dispatch: same-tick events run in schedule order on
-		// one dispatcher goroutine — the replayable mode.
-		e.vsched = sched.NewVirtual()
-		e.sched = e.vsched
-	case cfg.Virtual:
-		// Concurrent dispatch: same-tick callbacks (contract verification
-		// above all) spread across cores, matching the real scheduler's
-		// concurrency instead of serializing the whole engine on one
-		// dispatcher goroutine.
-		e.vsched = sched.NewVirtualConcurrent()
-		e.sched = e.vsched
-	default:
-		e.sched = sched.NewReal(cfg.Tick)
+	if cfg.Scheduler != nil {
+		e.sched = cfg.Scheduler
+		if v, ok := cfg.Scheduler.(*sched.Virtual); ok {
+			e.vsched = v
+		}
+	} else {
+		e.ownSched = true
+		switch {
+		case cfg.Parallel:
+			// Striped-parallel dispatch: per-swap stripes on a worker pool
+			// with a per-tick barrier — replayable AND multicore.
+			e.vsched = sched.NewVirtualParallel(cfg.Workers)
+			e.sched = e.vsched
+		case cfg.Deterministic:
+			// Serialized dispatch: same-tick events run in schedule order on
+			// one dispatcher goroutine — the replayable mode.
+			e.vsched = sched.NewVirtual()
+			e.sched = e.vsched
+		case cfg.Virtual:
+			// Concurrent dispatch: same-tick callbacks (contract verification
+			// above all) spread across cores, matching the real scheduler's
+			// concurrency instead of serializing the whole engine on one
+			// dispatcher goroutine.
+			e.vsched = sched.NewVirtualConcurrent()
+			e.sched = e.vsched
+		default:
+			e.sched = sched.NewReal(cfg.Tick)
+		}
 	}
-	e.reg = chain.NewRegistry(e.sched)
-	e.reg.SetDeliveryProbe(e.probe)
+	if cfg.Registry != nil {
+		// Shared registry: the owner wires the delivery probe (fanning it
+		// out per shard); installing ours here would steal it.
+		e.reg = cfg.Registry
+	} else {
+		e.reg = chain.NewRegistry(e.sched)
+		e.reg.SetDeliveryProbe(e.probe)
+	}
 	e.delta.Store(int64(cfg.Delta))
-	if cfg.Store != nil {
+	if cfg.Store != nil && cfg.Keyring == nil {
 		// Persist identities as they are generated: the ed25519 seed is an
-		// identity's durable form (see core.Keyring.OnCreate).
+		// identity's durable form (see core.Keyring.OnCreate). A shared
+		// keyring gets exactly one such hook, wired by its owner.
 		e.keyring.OnCreate(func(p chain.PartyID, seed []byte) {
 			cfg.Store.Append(Event{
 				Kind: EvIdentity, Tick: e.sched.Now(),
@@ -540,30 +647,38 @@ func (e *Engine) Start() error {
 	return nil
 }
 
-// Submit accepts one offer into the pending book, minting any asset the
-// party deposits for the first time. Safe to call from many goroutines.
-func (e *Engine) Submit(offer core.Offer) (OrderID, error) {
+// validateOffer is the static (state-free) intake check shared by Submit
+// and SubmitRouted.
+func validateOffer(offer core.Offer) error {
 	if len(offer.Give) == 0 || offer.Party == "" {
-		return 0, fmt.Errorf("%w: empty offer or party", ErrBadOffer)
+		return fmt.Errorf("%w: empty offer or party", ErrBadOffer)
 	}
 	dup := make(map[resvKey]bool, len(offer.Give))
 	for _, tr := range offer.Give {
 		if tr.To == offer.Party {
-			return 0, fmt.Errorf("%w: self transfer", ErrBadOffer)
+			return fmt.Errorf("%w: self transfer", ErrBadOffer)
 		}
 		if tr.To == "" || tr.Chain == "" || tr.Asset == "" || tr.Amount == 0 {
-			return 0, fmt.Errorf("%w: incomplete transfer", ErrBadOffer)
+			return fmt.Errorf("%w: incomplete transfer", ErrBadOffer)
 		}
 		// One asset can back only one transfer: catching this at intake
 		// keeps a malformed offer from dragging matched counterparties
 		// into a swap that cannot publish.
 		k := resvKey{chain: tr.Chain, asset: tr.Asset}
 		if dup[k] {
-			return 0, fmt.Errorf("%w: asset %s/%s offered twice", ErrBadOffer, tr.Chain, tr.Asset)
+			return fmt.Errorf("%w: asset %s/%s offered twice", ErrBadOffer, tr.Chain, tr.Asset)
 		}
 		dup[k] = true
 	}
+	return nil
+}
 
+// Submit accepts one offer into the pending book, minting any asset the
+// party deposits for the first time. Safe to call from many goroutines.
+func (e *Engine) Submit(offer core.Offer) (OrderID, error) {
+	if err := validateOffer(offer); err != nil {
+		return 0, err
+	}
 	// Quick state gate so offers to a stopped engine mint nothing.
 	e.mu.Lock()
 	running := e.state == stateRunning
@@ -581,20 +696,112 @@ func (e *Engine) Submit(offer core.Offer) (OrderID, error) {
 	if _, err := e.keyring.Ensure(offer.Party); err != nil {
 		return 0, err
 	}
-	id, err := e.bookOrder(offer)
+	id, err := e.bookOrder(offer, 0, e.sched.Now(), time.Now())
 	if err == nil {
 		e.ensureClearing()
 	}
 	return id, err
 }
 
+// Routed is one order delivered to an inner engine by a sharded router:
+// the router (not the engine) assigned the order ID, and the submission
+// instants are the ORIGINAL ones — an order escalated from a shard to the
+// coordinator keeps the tick it first entered the system at, so its
+// escalation age and digest row are independent of how many hops it took.
+type Routed struct {
+	ID            OrderID
+	Offer         core.Offer
+	SubmittedTick vtime.Ticks
+	SubmittedAt   time.Time
+}
+
+// SubmitRouted books an offer under a router-assigned order ID. Besides
+// the caller-controlled identity it behaves exactly like Submit: the
+// offer is validated, unseen assets are minted (an escalated order's
+// assets already exist and just amount-check), and the clearing loop is
+// re-armed. The engine's own ID sequence jumps past the routed ID, so
+// mixing Submit and SubmitRouted on one engine cannot collide.
+func (e *Engine) SubmitRouted(r Routed) error {
+	if r.ID == 0 {
+		return fmt.Errorf("%w: routed order ID 0", ErrBadOffer)
+	}
+	if err := validateOffer(r.Offer); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	running := e.state == stateRunning
+	e.mu.Unlock()
+	if !running {
+		return ErrNotRunning
+	}
+	if _, err := e.keyring.Ensure(r.Offer.Party); err != nil {
+		return err
+	}
+	if r.SubmittedAt.IsZero() {
+		r.SubmittedAt = time.Now()
+	}
+	_, err := e.bookOrder(r.Offer, r.ID, r.SubmittedTick, r.SubmittedAt)
+	if err == nil {
+		e.ensureClearing()
+	}
+	return err
+}
+
+// TakeEscalatable withdraws and returns every pending order submitted at
+// or before the cutoff tick, in ID order — the shard half of the
+// escalation protocol. Withdrawn orders leave the book and the order map
+// entirely (the coordinator re-books them under the same ID via
+// SubmitRouted, so the merged order set never shows a duplicate), and
+// the submitted-counter is decremented to balance the re-count at
+// re-booking. Call from the sharded escalation sweep only: it runs at
+// its own tail level, after this engine's clearing pass of the tick.
+func (e *Engine) TakeEscalatable(cutoff vtime.Ticks) []Routed {
+	e.mu.Lock()
+	if e.killed {
+		e.mu.Unlock()
+		return nil
+	}
+	var out []Routed
+	kept := e.pending[:0]
+	for _, o := range e.pending {
+		if o.status == StatusPending && !o.submittedTick.After(cutoff) {
+			out = append(out, Routed{
+				ID:            o.id,
+				Offer:         o.offer,
+				SubmittedTick: o.submittedTick,
+				SubmittedAt:   o.submittedAt,
+			})
+			delete(e.orders, o.id)
+			continue
+		}
+		kept = append(kept, o)
+	}
+	e.pending = kept
+	empty := len(e.pending) == 0
+	e.mu.Unlock()
+	if len(out) > 0 {
+		e.agg.AddSubmitted(-len(out))
+	}
+	if empty {
+		e.notifyDrain()
+	}
+	return out
+}
+
 // bookOrder validates the offer against engine state, mints unseen
-// assets, and books the order, all under the engine lock.
-func (e *Engine) bookOrder(offer core.Offer) (OrderID, error) {
+// assets, and books the order, all under the engine lock. id 0 draws the
+// next engine-local ID (plain Submit); a router-assigned id books under
+// that identity and advances the local sequence past it.
+func (e *Engine) bookOrder(offer core.Offer, id OrderID, tick vtime.Ticks, wall time.Time) (OrderID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.state != stateRunning {
 		return 0, ErrNotRunning
+	}
+	if id != 0 {
+		if _, dup := e.orders[id]; dup {
+			return 0, fmt.Errorf("%w: order %d already booked", ErrBadOffer, id)
+		}
 	}
 	// Deposit-on-intake: mint unseen assets under the offering party.
 	// Known assets must match amount; ownership is enforced later, at
@@ -619,13 +826,18 @@ func (e *Engine) bookOrder(offer core.Offer) (OrderID, error) {
 			Party: string(offer.Party),
 		})
 	}
-	e.nextOrder++
+	if id == 0 {
+		e.nextOrder++
+		id = e.nextOrder
+	} else if id > e.nextOrder {
+		e.nextOrder = id
+	}
 	o := &order{
-		id:            e.nextOrder,
+		id:            id,
 		offer:         offer,
 		status:        StatusPending,
-		submittedAt:   time.Now(),
-		submittedTick: e.sched.Now(),
+		submittedAt:   wall,
+		submittedTick: tick,
 	}
 	e.orders[o.id] = o
 	e.pending = append(e.pending, o)
@@ -684,9 +896,24 @@ func (e *Engine) NoteShed(n int) {
 // it — and makes the clearing tick the canonical last word of its tick.
 func (e *Engine) clearAt(t vtime.Ticks, fn func()) sched.Timer {
 	if e.vsched != nil {
-		return e.vsched.AtTail(t, fn)
+		return e.vsched.AtTailN(t, e.cfg.TailPrio, e.cfg.ShardStripe, fn)
 	}
 	return e.sched.At(t, fn)
+}
+
+// nextClearTick is the tick the next clearing round runs at. Deterministic
+// engines align rounds to the ClearEvery grid (the next multiple strictly
+// after now) rather than now+ClearEvery: a loop re-armed mid-phase after
+// parking would otherwise drift off-grid, and the sharded determinism
+// contract needs every engine's rounds — across any shard count — to land
+// on the same tick grid.
+func (e *Engine) nextClearTick() vtime.Ticks {
+	now := e.sched.Now()
+	if !e.cfg.Deterministic {
+		return now.Add(e.clearEvery)
+	}
+	every := int64(e.clearEvery)
+	return vtime.Ticks((int64(now)/every + 1) * every)
 }
 
 func (e *Engine) scheduleClear() {
@@ -695,7 +922,7 @@ func (e *Engine) scheduleClear() {
 	if e.clearStopped {
 		return
 	}
-	e.clearTimer = e.clearAt(e.sched.Now().Add(e.clearEvery), func() {
+	e.clearTimer = e.clearAt(e.nextClearTick(), func() {
 		e.clearMu.Lock()
 		if e.clearStopped {
 			e.clearMu.Unlock()
@@ -742,19 +969,27 @@ func (e *Engine) stopClearing() {
 // nothing virtually live parks instead (Submit re-arms; see clearParked).
 func (e *Engine) clearTick() bool {
 	e.clearRounds++
-	// Virtual liveness: the book is non-empty, or the scheduler still
-	// holds events (a live swap always holds at least its horizon timer,
-	// and deterministic runs never early-exit). Once both are empty the
-	// run is over in virtual terms — so anything that must replay
-	// identically (Δ adaptations, the active-round count) is gated on it,
-	// and the loop parks rather than spin empty rounds on the free-running
-	// virtual clock until Drain notices at wall speed. Both gate inputs
-	// are pure functions of virtual state; the in-flight count
-	// (decremented by worker bookkeeping at wall speed) deliberately
-	// plays no part.
-	live := !e.cfg.Deterministic || e.Pending() > 0 || e.vsched.Pending() > 0
+	// Virtual liveness: the book is non-empty, or swaps this engine
+	// dispatched are still virtually live (liveRuns is decremented by the
+	// run's OnHorizon hook, which fires at level 0 of its tick — before
+	// any clearing tick of the same tick reads the count, so the gate is
+	// a pure function of the virtual schedule). Once both are zero the
+	// engine's own run is over in virtual terms — so anything that must
+	// replay identically (Δ adaptations, the active-round count) is gated
+	// on it, and the loop parks rather than spin empty rounds on the
+	// free-running virtual clock until Drain notices at wall speed. The
+	// engine's OWN liveness, not the global queue: on a shared sharded
+	// scheduler the queue holds every other shard's events, and a
+	// per-shard gate must not read cross-shard state (it would also be
+	// racy across concurrently-running shard stripes). The in-flight
+	// count (decremented by worker bookkeeping at wall speed)
+	// deliberately plays no part.
+	live := !e.cfg.Deterministic || e.Pending() > 0 || e.liveRuns.Load() > 0
 	if live {
 		e.activeRounds++
+		if e.cfg.Deterministic {
+			e.roundTicks = append(e.roundTicks, e.sched.Now())
+		}
 	} else if e.cfg.Deterministic {
 		e.clearMu.Lock()
 		e.clearParked = true
@@ -762,7 +997,7 @@ func (e *Engine) clearTick() bool {
 		// Re-check under the parked flag: an order booked between the gate
 		// read and the park would otherwise wait forever (its ensureClearing
 		// saw the loop still armed).
-		if e.Pending() > 0 || e.vsched.Pending() > 0 {
+		if e.Pending() > 0 || e.liveRuns.Load() > 0 {
 			e.ensureClearing()
 		}
 		e.notifyDrain()
@@ -914,12 +1149,26 @@ func (e *Engine) clearRound() bool {
 // setup, and hands it to the executor pool. Returns false if the group
 // must wait (reservation contention) or was rejected.
 func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bool {
-	e.mu.Lock()
-	e.nextSwap++
-	seq := e.nextSwap
+	var seq uint64
+	if e.cfg.CanonicalSwapTags {
+		// Sharded identity: tag, seed, and stripe derive from the minimum
+		// order ID in the group. Router-assigned IDs are globally unique
+		// and arrival-ordered, so the identity is the same whichever
+		// engine (shard, coordinator, or the 1-shard baseline) clears the
+		// group — and distinct concurrent groups never share a stripe.
+		for _, o := range g {
+			if id := uint64(byParty[o.Party].id); seq == 0 || id < seq {
+				seq = id
+			}
+		}
+	} else {
+		e.mu.Lock()
+		e.nextSwap++
+		seq = e.nextSwap
+		e.mu.Unlock()
+	}
 	swapID := fmt.Sprintf("swap-%06d", seq)
 	seed := e.cfg.Seed + int64(seq)
-	e.mu.Unlock()
 	// The rng draw needs no lock: clearGroup only ever runs on the
 	// clearing goroutine, to which e.rng is confined (see the field doc).
 	adversarial := e.cfg.AdversaryRate > 0 && e.rng.Float64() < e.cfg.AdversaryRate
@@ -947,6 +1196,30 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 			}
 			held = append(held, resvKey{chain: tr.Chain, asset: tr.Asset})
 		}
+	}
+	if e.cfg.LogPrepared && e.cfg.Store != nil {
+		// AC3 prepare record: every involved asset is now reserved (the
+		// shared registry's reservation table spans all shards), but the
+		// swap is not yet committed — that is EvCleared, below. A crash
+		// between the two folds back to pending orders; the reservations
+		// die with the process, so the prepare is implicitly refunded and
+		// the orders resume and re-clear after recovery.
+		ids := make([]OrderID, 0, len(g))
+		for _, o := range g {
+			ids = append(ids, byParty[o.Party].id)
+		}
+		spans := 0
+		if e.cfg.ShardOfChain != nil {
+			seen := make(map[int]bool, len(held))
+			for _, r := range held {
+				seen[e.cfg.ShardOfChain(r.chain)] = true
+			}
+			spans = len(seen)
+		}
+		e.logEvent(Event{
+			Kind: EvPrepared, Tick: e.sched.Now(),
+			Swap: swapID, Orders: ids, Count: spans,
+		})
 	}
 
 	// rejectGroup is the shared recovery path for a group that cleared
@@ -1346,16 +1619,29 @@ func (e *Engine) Stop(ctx context.Context) error {
 	e.stopClearing()
 	close(e.jobs)
 	e.workerWG.Wait()
-	if e.vsched != nil {
+	if e.vsched != nil && e.ownSched {
 		// All runs have drained their scheduler holds; stop the virtual
-		// dispatcher so the engine leaves no goroutine behind.
+		// dispatcher so the engine leaves no goroutine behind. An
+		// injected (shared) scheduler is the shard owner's to close,
+		// once, after every engine sharing it has stopped.
 		e.vsched.Close()
 	}
 	return drainErr
 }
 
-// Report snapshots the service-level metrics.
-func (e *Engine) Report() metrics.Throughput { return e.agg.Snapshot() }
+// Report snapshots the service-level metrics. The signature count comes
+// from the keyring meter at snapshot time; with a shared (sharded)
+// keyring it is the global count — the sharded report overrides it once
+// after merging, so it is never summed across shards.
+func (e *Engine) Report() metrics.Throughput {
+	e.agg.SetSigns(e.keyring.Signs())
+	return e.agg.Snapshot()
+}
+
+// MergeMetricsInto folds this engine's aggregate metrics into dst — the
+// sharded engine's report assembly. Call in a fixed shard order after
+// the engines have stopped so the merged Δ trajectory is deterministic.
+func (e *Engine) MergeMetricsInto(dst *metrics.Aggregate) { dst.Merge(e.agg) }
 
 // TakeLatencyWindow snapshots and resets the per-interval latency
 // histogram: the percentiles of every order settled since the previous
@@ -1373,6 +1659,13 @@ func (e *Engine) SetRecoveryStats(rs metrics.RecoveryStats) { e.agg.SetRecovery(
 // mode). Call only after Stop — the count is confined to the clearing
 // goroutine while the engine runs.
 func (e *Engine) ClearRounds() int { return e.activeRounds }
+
+// ClearRoundTicks returns the tick of every active clearing round
+// (recorded in deterministic mode only; nil otherwise). Like ClearRounds,
+// call only after Stop. The sharded engine merges per-shard tick SETS so
+// a round where k shards all had work counts once, exactly as the same
+// work would in a 1-shard run.
+func (e *Engine) ClearRoundTicks() []vtime.Ticks { return e.roundTicks }
 
 // Pending returns the current book depth.
 func (e *Engine) Pending() int {

@@ -18,11 +18,19 @@ var loadChains = []string{"btc", "eth", "sol", "ada"}
 // closed-loop RunLoad and the open-loop generator in loadgen — submit,
 // so their measurements describe the same workload.
 func LoadOffer(ring, i, size, group int) core.Offer {
+	return LoadOfferOn(ring, i, size, group, loadChains[(ring+i)%len(loadChains)])
+}
+
+// LoadOfferOn is LoadOffer with an explicit chain: the sharded load
+// generator picks chains from per-shard pools (so ring placement is a
+// controlled variable), everything else about the workload stays
+// byte-identical to the classic shape.
+func LoadOfferOn(ring, i, size, group int, chainName string) core.Offer {
 	return core.Offer{
 		Party: chain.PartyID(fmt.Sprintf("r%d-p%d", group, i)),
 		Give: []core.ProposedTransfer{{
 			To:     chain.PartyID(fmt.Sprintf("r%d-p%d", group, (i+1)%size)),
-			Chain:  loadChains[(ring+i)%len(loadChains)],
+			Chain:  chainName,
 			Asset:  chain.AssetID(fmt.Sprintf("asset-%d-%d", ring, i)),
 			Amount: uint64(1 + ring%89),
 		}},

@@ -10,10 +10,34 @@ import (
 
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/engine/shard"
 	"github.com/go-atomicswap/atomicswap/internal/metrics"
 	"github.com/go-atomicswap/atomicswap/internal/sched"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
+
+// Target is the intake surface a load generator drives: the single
+// engine and the sharded engine both satisfy it, so every arrival
+// process, shed rule, and schedule in this package works unchanged
+// against either.
+type Target interface {
+	Submit(offer core.Offer) (engine.OrderID, error)
+	Pending() int
+	NoteShed(n int)
+	Scheduler() sched.Scheduler
+	Tick() time.Duration
+}
+
+// DriveTarget extends Target with the lifecycle Drive owns: stop/drain,
+// the conservation audit, and the final report.
+type DriveTarget interface {
+	Target
+	Stop(ctx context.Context) error
+	Recovered() bool
+	VerifyConservation() error
+	VerifyLedgerIntegrity() error
+	Report() metrics.Throughput
+}
 
 // DefaultMaxPending is the bounded-intake backstop: once the engine's
 // pending book is this deep, further arrivals are shed instead of
@@ -42,6 +66,19 @@ type Config struct {
 	MaxPending int
 	// Seed drives the arrival schedule and ring-size draws.
 	Seed int64
+	// Shards, when >1, switches ring generation to sharded placement:
+	// chains come from per-shard pools (see shard.Map.Pools), ring r is
+	// homed to shard r mod Shards, and a CrossRatio fraction of rings
+	// deliberately mix two pools so their members land in different
+	// shard books — the cross-shard escalation workload. This is the
+	// GENERATION shard count: it fixes the offer stream, which stays
+	// byte-identical whatever shard count the stream is executed on
+	// (the 4-vs-1 digest-equality contract depends on exactly that).
+	// 0 or 1 keeps the classic fixed chain set.
+	Shards int
+	// CrossRatio is the fraction of generated rings that span two
+	// shards' chain pools (ignored unless Shards > 1).
+	CrossRatio float64
 }
 
 func (cfg Config) withDefaults() Config {
@@ -82,7 +119,7 @@ type Stats struct {
 // own Drain/Stop, so loads can be layered or followed by more traffic —
 // but must not Stop it while Run is in flight (abort via ctx instead): a
 // closed scheduler drops queued arrivals without firing them.
-func Run(ctx context.Context, e *engine.Engine, cfg Config) (Stats, error) {
+func Run(ctx context.Context, e Target, cfg Config) (Stats, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Rate <= 0 {
 		return Stats{}, errors.New("loadgen: Rate must be positive")
@@ -191,14 +228,37 @@ func buildOffers(cfg Config) (offers []core.Offer, ringOf []int) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 1)) // distinct stream from Schedule
 	offers = make([]core.Offer, 0, cfg.Offers+cfg.RingMax)
 	ringOf = make([]int, 0, cfg.Offers+cfg.RingMax)
+	// Sharded placement: ring r homes to shard r mod Shards and draws
+	// chains from that shard's pool; a CrossRatio draw instead alternates
+	// the home pool with the next shard's, splitting the ring's members
+	// across two shard books. The pools are a pure function of the
+	// generation shard count, so the stream is fixed before any engine
+	// exists.
+	var pools [][]string
+	if cfg.Shards > 1 {
+		pools = shard.NewMap(cfg.Shards).Pools(4)
+	}
 	for ring := 0; len(offers) < cfg.Offers; ring++ {
 		size := cfg.RingMin + rng.Intn(cfg.RingMax-cfg.RingMin+1)
 		group := ring
 		if cfg.PartyPool > 0 {
 			group = ring % cfg.PartyPool
 		}
+		cross := false
+		if pools != nil && cfg.CrossRatio > 0 {
+			cross = rng.Float64() < cfg.CrossRatio
+		}
 		for i := 0; i < size; i++ {
-			offers = append(offers, engine.LoadOffer(ring, i, size, group))
+			if pools == nil {
+				offers = append(offers, engine.LoadOffer(ring, i, size, group))
+			} else {
+				home := ring % cfg.Shards
+				pool := pools[home]
+				if cross && i%2 == 1 {
+					pool = pools[(home+1)%cfg.Shards]
+				}
+				offers = append(offers, engine.LoadOfferOn(ring, i, size, group, pool[(ring+i)%len(pool)]))
+			}
 			ringOf = append(ringOf, ring)
 		}
 	}
@@ -223,7 +283,7 @@ type Report struct {
 // This is the shared tail behind RunOpenLoad and swapd's -arrival-rate
 // mode, so the benchmark harness and the CLI can never diverge on the
 // drain/verify/report contract.
-func Drive(ctx context.Context, e *engine.Engine, lcfg Config) (Report, error) {
+func Drive(ctx context.Context, e DriveTarget, lcfg Config) (Report, error) {
 	lcfg = lcfg.withDefaults()
 	stats, err := Run(ctx, e, lcfg)
 	if err != nil {
@@ -262,6 +322,27 @@ func Drive(ctx context.Context, e *engine.Engine, lcfg Config) (Report, error) {
 // sweep, the open-loop benchmarks, and the examples drive.
 func RunOpenLoad(ecfg engine.Config, lcfg Config) (Report, error) {
 	e := engine.New(ecfg)
+	if err := e.Start(); err != nil {
+		return Report{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	return Drive(ctx, e, lcfg)
+}
+
+// RunShardedOpenLoad is RunOpenLoad against a sharded engine: fresh
+// ShardedEngine, one open-loop load (generated with the engine's own
+// shard count unless lcfg.Shards already says otherwise), Drive's
+// drain/verify/report tail. The swapbench shard sweep runs on this.
+func RunShardedOpenLoad(scfg shard.Config, lcfg Config) (Report, error) {
+	if lcfg.Shards == 0 {
+		if scfg.Shards > 0 {
+			lcfg.Shards = scfg.Shards
+		} else {
+			lcfg.Shards = 4 // shard.New's default
+		}
+	}
+	e := shard.New(scfg)
 	if err := e.Start(); err != nil {
 		return Report{}, err
 	}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"github.com/go-atomicswap/atomicswap/internal/durable"
-	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
@@ -39,9 +38,7 @@ func runCrash(sc Scenario, process loadgen.Process) (*Result, error) {
 		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}
 
-	cfg := sc.engineConfig()
-	cfg.Store = store
-	a := engine.New(cfg)
+	a := sc.newEngine(store)
 	if err := a.Start(); err != nil {
 		return nil, err
 	}
@@ -81,10 +78,7 @@ func runCrash(sc Scenario, process loadgen.Process) (*Result, error) {
 	// the replay cares about state, not continued logging) under the
 	// same engine config, then a normal start-and-drain to finish every
 	// resumed or still-pending order.
-	b, rec, err := durable.Recover(sc.engineConfig(), durable.RecoverOptions{
-		Dir:     dir,
-		CutTick: cut,
-	})
+	b, rec, err := sc.recoverEngine(dir, cut)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: recover: %w", sc.Name, err)
 	}

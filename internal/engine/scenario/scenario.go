@@ -35,9 +35,21 @@ import (
 	"github.com/go-atomicswap/atomicswap/internal/durable"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
+	"github.com/go-atomicswap/atomicswap/internal/engine/shard"
 	"github.com/go-atomicswap/atomicswap/internal/metrics"
 	"github.com/go-atomicswap/atomicswap/internal/vtime"
 )
+
+// clearing is the engine surface a scenario run drives: the single
+// engine and the sharded engine both satisfy it, so the normal path and
+// both lives of a crash run are written once.
+type clearing interface {
+	loadgen.DriveTarget
+	Start() error
+	Orders() []engine.OrderSnapshot
+	ClearRounds() int
+	Kill() vtime.Ticks
+}
 
 // Deviation injects one strategy from the taxonomy (see Strategies) at
 // a per-party rate: each party of each cleared swap independently draws
@@ -96,6 +108,24 @@ type Scenario struct {
 
 	// Deviations is the adversarial mix injected into the stream.
 	Deviations []Deviation `json:"deviations,omitempty"`
+
+	// Shards, when positive, runs the scenario sharded: load generation
+	// places rings into per-shard chain pools (shard.Map.Pools) and
+	// execution runs a ShardedEngine of this many shards plus a
+	// cross-shard coordinator. It is part of the scenario's identity —
+	// generation depends on it — but the EXECUTION shard count can be
+	// overridden with ExecShards, and for a CrossRatio-0 stream the
+	// digest must be byte-identical whatever the execution shard count
+	// (the property CI's sharded replay job diffs).
+	Shards int `json:"shards,omitempty"`
+	// CrossRatio is the fraction of generated rings that span two shards'
+	// chain pools — the cross-shard escalation workload (0 keeps every
+	// ring shard-local).
+	CrossRatio float64 `json:"cross_ratio,omitempty"`
+	// ExecShards overrides the execution shard count (generation keeps
+	// using Shards). Like Parallel it is an execution knob excluded from
+	// the scenario's JSON identity: the digest must not depend on it.
+	ExecShards int `json:"-"`
 
 	// CrashTick, when positive, turns the run into a crash-recovery
 	// experiment: the engine runs with a durable write-ahead log, is
@@ -241,7 +271,7 @@ func (sc Scenario) factory() engine.BehaviorFactory {
 // path and both lives of a crash run, so a recovered engine replays
 // under exactly the knobs the original ran with.
 func (sc Scenario) engineConfig() engine.Config {
-	return engine.Config{
+	cfg := engine.Config{
 		Workers:       sc.Workers,
 		Tick:          time.Millisecond,
 		Delta:         sc.Delta,
@@ -255,6 +285,45 @@ func (sc Scenario) engineConfig() engine.Config {
 		// queue must hold every swap the book can produce.
 		QueueDepth: sc.Offers + 64,
 	}
+	if sc.Shards > 0 {
+		// Neutralize the virtual live-run gate: each engine's gate reads
+		// its OWN live count, so a binding gate would fire at different
+		// rounds under different shard counts. A ceiling above the whole
+		// book makes the gate a no-op in every execution shape, keeping
+		// the digest a function of the stream alone.
+		cfg.MaxLive = sc.Offers + 64
+	}
+	return cfg
+}
+
+// execShards is the execution shard count: the ExecShards override, else
+// the scenario's own Shards.
+func (sc Scenario) execShards() int {
+	if sc.ExecShards > 0 {
+		return sc.ExecShards
+	}
+	return sc.Shards
+}
+
+// newEngine builds the scenario's execution engine — sharded when the
+// scenario says so — with the given durable store (nil for in-memory).
+func (sc Scenario) newEngine(store engine.Store) clearing {
+	cfg := sc.engineConfig()
+	cfg.Store = store
+	if n := sc.execShards(); n > 0 {
+		return shard.New(shard.Config{Shards: n, Engine: cfg})
+	}
+	return engine.New(cfg)
+}
+
+// recoverEngine rebuilds the scenario's engine from a durable store
+// (the second life of a crash run), in the same shape newEngine built.
+func (sc Scenario) recoverEngine(dir string, cut vtime.Ticks) (clearing, *durable.Recovery, error) {
+	opts := durable.RecoverOptions{Dir: dir, CutTick: cut}
+	if n := sc.execShards(); n > 0 {
+		return shard.Recover(shard.Config{Shards: n, Engine: sc.engineConfig()}, opts)
+	}
+	return durable.Recover(sc.engineConfig(), opts)
 }
 
 // loadConfig is the scenario's open-loop generator shape.
@@ -268,6 +337,11 @@ func (sc Scenario) loadConfig(process loadgen.Process) loadgen.Config {
 		PartyPool:  sc.PartyPool,
 		MaxPending: sc.MaxPending,
 		Seed:       sc.Seed,
+		// Generation placement follows the scenario's OWN shard count,
+		// never the ExecShards override: the stream is part of the
+		// scenario's identity, the execution shape is not.
+		Shards:     sc.Shards,
+		CrossRatio: sc.CrossRatio,
 	}
 }
 
@@ -288,7 +362,7 @@ func Run(sc Scenario) (*Result, error) {
 		return runCrash(sc, process)
 	}
 
-	e := engine.New(sc.engineConfig())
+	e := sc.newEngine(nil)
 	if err := e.Start(); err != nil {
 		return nil, err
 	}

@@ -101,6 +101,36 @@ func Suite(seedOffset int64) []Scenario {
 			MaxSettleTick:  175, // measured 115
 		},
 		{
+			// Sharded clearing, zero cross-shard traffic: every ring lives
+			// inside one shard's chain pool, so the run is pure parallel
+			// shard-local clearing — and its digest must be byte-identical
+			// whether executed on 4 shards or folded onto 1 (the CI
+			// baseline diff).
+			Name:           "sharded-local",
+			Seed:           707 + seedOffset,
+			Offers:         48,
+			Rate:           2000,
+			Profile:        "poisson",
+			Shards:         4,
+			MaxClearRounds: 110, // measured 74
+			MaxSettleTick:  120, // measured 79
+		},
+		{
+			// Sharded clearing with half the rings spanning two shard
+			// pools: those rings cannot clear locally, age past the
+			// escalation cutoff, and settle through the coordinator —
+			// the two-level protocol under real cross-shard pressure.
+			Name:           "sharded-cross",
+			Seed:           808 + seedOffset,
+			Offers:         48,
+			Rate:           2000,
+			Profile:        "poisson",
+			Shards:         4,
+			CrossRatio:     0.5,
+			MaxClearRounds: 120, // measured 78
+			MaxSettleTick:  135, // measured 88
+		},
+		{
 			// Overload: arrivals far beyond capacity against a tiny shed
 			// threshold — the backstop's accounting, adversarially seasoned.
 			Name:       "overload-shed",

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/durable"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
+)
+
+// Recover rebuilds a ShardedEngine from a durable store. The sharded
+// deployment logs into ONE write-ahead log — every inner engine appends
+// to the same store, and events carry shard-independent identities
+// (router-assigned order IDs, canonical swap tags) — so recovery folds
+// the log exactly once with durable's standard machinery and then
+// re-partitions the result: identities into the shared keyring, assets
+// re-minted once into the shared registry, orders routed to their home
+// shards by the same map intake uses. A shard crash mid-escalation
+// resolves like any other in-flight state: an order the sweep had moved
+// to the coordinator folds back to its booked offer, recovers into its
+// home shard, and — its submit tick being long past the cutoff —
+// re-escalates on the first sweep. A swap the coordinator had PREPARED
+// (EvPrepared logged, reservations held on every involved shard) but not
+// committed folds to pending orders: the reservations died with the
+// process, so the prepare is refunded and the orders resume. See
+// DESIGN.md §11.
+//
+// The returned engine has not been Started; the caller Starts it exactly
+// like a fresh one.
+func Recover(cfg Config, opts durable.RecoverOptions) (*ShardedEngine, *durable.Recovery, error) {
+	begin := time.Now()
+	st, err := durable.Open(durable.Options{Dir: opts.Dir, SnapshotEvery: opts.SnapshotEvery})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !st.HasData() {
+		st.Close()
+		return nil, nil, fmt.Errorf("%w in %s", durable.ErrNoState, opts.Dir)
+	}
+	resolved, err := st.ResolvedState(opts.CutTick)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+
+	recTick := resolved.MaxTick
+	if opts.CutTick > 0 && opts.CutTick > recTick {
+		recTick = opts.CutTick
+	}
+	delta := cfg.Engine.Delta
+	if delta <= 0 {
+		delta = core.DefaultDelta
+	}
+	recState, resumed, refunded := resolved.Resolve(recTick, delta)
+
+	if opts.Attach {
+		if err := st.AttachResolved(resolved); err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+		cfg.Engine.Store = st
+	} else {
+		if err := st.Close(); err != nil {
+			return nil, nil, err
+		}
+		cfg.Engine.Store = nil
+	}
+
+	s, err := NewRecovered(cfg, recState)
+	if err != nil {
+		if opts.Attach {
+			st.Close()
+		}
+		return nil, nil, err
+	}
+	rec := &durable.Recovery{
+		Events:   resolved.Events,
+		Resumed:  resumed,
+		Refunded: refunded,
+		Tick:     recTick,
+		WallMs:   float64(time.Since(begin)) / float64(time.Millisecond),
+	}
+	if opts.Attach {
+		rec.Store = st
+	}
+	// Recovery counters ride on shard 0's aggregate; Merge copies them
+	// into the merged report (exactly one engine carries them).
+	s.shards[0].SetRecoveryStats(metrics.RecoveryStats{
+		Replayed: rec.Events,
+		Resumed:  rec.Resumed,
+		Refunded: rec.Refunded,
+		WallMs:   rec.WallMs,
+	})
+	return s, rec, nil
+}

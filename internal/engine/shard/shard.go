@@ -1,0 +1,778 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/engine"
+	"github.com/go-atomicswap/atomicswap/internal/hashkey"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
+	"github.com/go-atomicswap/atomicswap/internal/sched"
+	"github.com/go-atomicswap/atomicswap/internal/trace"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// Config parameterizes a ShardedEngine.
+type Config struct {
+	// Shards is the number of shard engines (default 4). The coordinator
+	// is one more engine on top.
+	Shards int
+	// EscalateAfter is how many ticks an order may sit unmatched in a
+	// shard book before the sweep escalates it to the coordinator
+	// (default 4× the clearing cadence — four shard-local rounds get
+	// first shot at every order). The cutoff is applied to the order's
+	// ORIGINAL submit tick, so escalation timing is independent of the
+	// shard count — the property the 4-vs-1 digest equality rests on.
+	EscalateAfter vtime.Duration
+	// Engine is the base configuration every inner engine is built from.
+	// Workers is the TOTAL executor budget, split evenly across the
+	// shards and the coordinator. The injection fields (Scheduler,
+	// Registry, Keyring, Cache, Tracer, Probe, ShardStripe, TailPrio,
+	// CanonicalSwapTags, LogPrepared, ShardOfChain) belong to the
+	// ShardedEngine and must be left unset.
+	Engine engine.Config
+}
+
+type shardedState int
+
+const (
+	shardedRunning shardedState = iota
+	shardedDraining
+	shardedStopped
+)
+
+// ShardedEngine is the two-level clearing service: N shard engines
+// clearing shard-local rings in parallel, one coordinator engine
+// clearing the cross-shard remainder. All N+1 engines share one
+// scheduler (shard clearing stripes run concurrently under
+// striped-parallel dispatch), one chain registry (a single reservation
+// table spans every shard, so a cross-shard swap's prepare holds assets
+// on all involved shards), one keyring, one verification cache, and one
+// trace ring. Per-round clearing cost drops from O(global book) to
+// O(shard book): each engine partitions only the offers routed to it.
+//
+// The deterministic tick ladder on the shared scheduler is
+//
+//	level 0  protocol events (deliveries, horizons)
+//	level 1  shard clearing, one stripe per shard
+//	level 2  escalation sweep
+//	level 3  coordinator clearing
+//
+// with a dispatch barrier between levels, so every shard's clearing pass
+// sees the same pre-tick state, the sweep sees every shard's post-
+// clearing book, and the coordinator sees every escalation of its tick.
+type ShardedEngine struct {
+	cfg Config
+	m   Map
+
+	sch    sched.Scheduler
+	vsched *sched.Virtual // sch when virtual, nil otherwise
+
+	reg     *chain.Registry
+	keyring *core.Keyring
+	vcache  *hashkey.VerifyCache
+	tracer  *trace.Log
+
+	shards  []*engine.Engine
+	coord   *engine.Engine
+	engines []*engine.Engine // shards then coordinator: the fixed merge order
+
+	// nextID is the global order sequence: the router assigns IDs at
+	// intake so an order's identity (and everything derived from it —
+	// swap tags, seeds, stripes) is independent of which engine books it.
+	nextID atomic.Uint64
+
+	clearEvery vtime.Duration
+	escAfter   vtime.Duration
+
+	// startedAt is the deployment's metrics epoch: the merged report is
+	// assembled at report time, so it inherits this instant instead of
+	// measuring a zero-length run.
+	startedAt time.Time
+
+	// The escalation sweep mirrors the engine's clearing loop: a
+	// self-rescheduling timer, a stopped flag, a parked flag re-armed by
+	// intake, and a WaitGroup so Stop can wait out a tick in flight.
+	escMu      sync.Mutex
+	escTimer   sched.Timer
+	escStopped bool
+	escParked  bool
+	escWG      sync.WaitGroup
+
+	mu     sync.Mutex
+	state  shardedState
+	killed bool
+
+	// recovered marks an engine rebuilt by Recover; recMinted is the
+	// recovery-time re-mint audit list (the inner engines' own minted
+	// lists only cover post-recovery intake — see NewRecovered).
+	recovered bool
+	recMinted []recMint
+}
+
+type recMint struct {
+	chain  string
+	asset  chain.AssetID
+	amount uint64
+}
+
+// New creates a sharded engine. Call Start, Submit from any goroutine,
+// and Drain/Stop to wind down — the same lifecycle as engine.Engine.
+func New(cfg Config) *ShardedEngine {
+	s, _ := build(cfg, nil)
+	return s
+}
+
+// build assembles the shared infrastructure and the N+1 inner engines.
+// rst, when non-nil, is a recovered state to resurrect from (see
+// NewRecovered); nil builds a fresh engine.
+func build(cfg Config, rst *engine.RecoveredState) (*ShardedEngine, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	base := cfg.Engine
+	// Normalize the knobs this package reads before engine.New applies
+	// its own (identical) defaults to each inner copy.
+	if base.Workers <= 0 {
+		base.Workers = 8
+	}
+	if base.Tick <= 0 {
+		base.Tick = time.Millisecond
+	}
+	if base.ClearInterval <= 0 {
+		base.ClearInterval = 2 * time.Millisecond
+	}
+	if base.ClearEvery <= 0 {
+		base.ClearEvery = vtime.Duration(base.ClearInterval / base.Tick)
+		if base.ClearEvery < 1 {
+			base.ClearEvery = 1
+		}
+	}
+	if base.Parallel {
+		base.Deterministic = true
+	}
+	if base.Deterministic {
+		base.Virtual = true
+	}
+	if cfg.EscalateAfter <= 0 {
+		cfg.EscalateAfter = 4 * base.ClearEvery
+	}
+
+	s := &ShardedEngine{
+		cfg:        cfg,
+		m:          NewMap(cfg.Shards),
+		clearEvery: base.ClearEvery,
+		escAfter:   cfg.EscalateAfter,
+		startedAt:  time.Now(),
+	}
+
+	// One scheduler for everything. The stripe key space is partitioned
+	// by construction: swap runs stripe on their canonical sequence,
+	// shard clearing on 1..N at level 1, the sweep on N+2 at level 2,
+	// coordinator clearing on N+1 at level 3.
+	switch {
+	case base.Parallel:
+		s.vsched = sched.NewVirtualParallel(base.Workers)
+		s.sch = s.vsched
+	case base.Deterministic:
+		s.vsched = sched.NewVirtual()
+		s.sch = s.vsched
+	case base.Virtual:
+		s.vsched = sched.NewVirtualConcurrent()
+		s.sch = s.vsched
+	default:
+		s.sch = sched.NewReal(base.Tick)
+	}
+
+	s.reg = chain.NewRegistry(s.sch)
+	s.keyring = core.NewKeyring(rand.New(rand.NewSource(base.Seed + 2)))
+	s.vcache = hashkey.NewVerifyCache(0)
+	if !base.DisableBatchVerify {
+		// Size the shared batch-verify pool ONCE from the machine's total
+		// budget. Each inner engine sees an injected cache and leaves the
+		// sizing alone — N shards never stack N default pools on one box.
+		bw := base.Workers
+		if n := runtime.GOMAXPROCS(0); bw > n {
+			bw = n
+		}
+		s.vcache.SetBatchWorkers(bw)
+	}
+	s.tracer = trace.NewLog(trace.DefaultCap)
+
+	// Partition a recovered order book by home shard before the engines
+	// exist: terminal orders are history and belong wherever their offer
+	// would route today; pending ones re-enter that book and re-clear
+	// (an order escalated to the coordinator before the crash goes back
+	// to its home shard — its submit tick is old, so the first sweep
+	// re-escalates it immediately).
+	var parts [][]engine.RecoveredOrder
+	if rst != nil {
+		parts = make([][]engine.RecoveredOrder, cfg.Shards+1)
+		for _, ro := range rst.Orders {
+			home, cross := s.m.OfOffer(ro.Offer)
+			if cross {
+				home = cfg.Shards
+			}
+			parts[home] = append(parts[home], ro)
+		}
+	}
+
+	perW := base.Workers / cfg.Shards
+	if perW < 1 {
+		perW = 1
+	}
+	probes := make([]*sched.LatencyProbe, 0, cfg.Shards+1)
+	newEngine := func(ec engine.Config, part int) (*engine.Engine, error) {
+		if rst == nil {
+			return engine.New(ec), nil
+		}
+		es := engine.RecoveredState{
+			Orders:    parts[part],
+			NextOrder: rst.NextOrder,
+			NextSwap:  rst.NextSwap,
+			// Identities, Assets, and Tick are deliberately zero: the
+			// keyring, registry, and clock are shared, restored once at
+			// the sharded level below.
+		}
+		if part == 0 {
+			es.Shed = rst.Shed
+		}
+		return engine.NewRecovered(ec, es)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		p := sched.NewLatencyProbe()
+		probes = append(probes, p)
+		ec := base
+		ec.Workers = perW
+		ec.Scheduler = s.sch
+		ec.Registry = s.reg
+		ec.Keyring = s.keyring
+		ec.Cache = s.vcache
+		ec.Tracer = s.tracer
+		ec.Probe = p
+		ec.ShardStripe = uint64(i + 1)
+		ec.TailPrio = 1
+		ec.CanonicalSwapTags = true
+		eng, err := newEngine(ec, i)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, eng)
+	}
+	cp := sched.NewLatencyProbe()
+	probes = append(probes, cp)
+	cc := base
+	cc.Workers = perW
+	cc.Scheduler = s.sch
+	cc.Registry = s.reg
+	cc.Keyring = s.keyring
+	cc.Cache = s.vcache
+	cc.Tracer = s.tracer
+	cc.Probe = cp
+	cc.ShardStripe = uint64(cfg.Shards + 1)
+	cc.TailPrio = 3
+	cc.CanonicalSwapTags = true
+	cc.LogPrepared = true
+	cc.ShardOfChain = s.m.Of
+	coord, err := newEngine(cc, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	s.coord = coord
+	s.engines = append(append([]*engine.Engine{}, s.shards...), s.coord)
+
+	// The registry reports delivery lag with no notion of which shard's
+	// swap produced it; fan every observation out so each engine's
+	// adaptive-Δ controller sees the machine-wide evidence (a safe upper
+	// bound on its own — Δ adapts to the slowest observed delivery).
+	s.reg.SetDeliveryProbe(probeFan(probes))
+
+	if rst != nil {
+		s.recovered = true
+		for _, id := range rst.Identities {
+			if err := s.keyring.Restore(chain.PartyID(id.Party), id.Seed); err != nil {
+				return nil, err
+			}
+		}
+		// Re-mint once into the shared registry; the per-engine minted
+		// audit lists only see post-recovery intake, so the sharded level
+		// keeps its own list and audits it in verifyLedgers.
+		for _, a := range rst.Assets {
+			if err := s.reg.Chain(a.Chain).RegisterAsset(chain.Asset{
+				ID: a.Asset, Amount: a.Amount,
+			}, chain.PartyID(a.Owner)); err != nil {
+				return nil, fmt.Errorf("shard: recovery re-mint %s/%s: %w", a.Chain, a.Asset, err)
+			}
+			s.recMinted = append(s.recMinted, recMint{chain: a.Chain, asset: a.Asset, amount: a.Amount})
+		}
+		s.nextID.Store(rst.NextOrder)
+		// Advance the shared virtual clock to the recovery tick, once
+		// (the inner engines were built with Tick 0 and skipped their own
+		// advance).
+		if s.vsched != nil && rst.Tick > 0 {
+			done := make(chan struct{})
+			s.sch.At(rst.Tick, func() { close(done) })
+			<-done
+		}
+	}
+	// Identity persistence is wired AFTER restore: a restored identity is
+	// already in the log. The shared keyring gets exactly one hook; the
+	// inner engines see an injected keyring and wire nothing.
+	if base.Store != nil {
+		st := base.Store
+		s.keyring.OnCreate(func(p chain.PartyID, seed []byte) {
+			st.Append(engine.Event{
+				Kind: engine.EvIdentity, Tick: s.sch.Now(),
+				Party: string(p), Seed: seed,
+			})
+		})
+	}
+	return s, nil
+}
+
+// NewRecovered builds a sharded engine from a recovered durable state:
+// identities restored into the shared keyring, assets re-minted once
+// into the shared registry, orders re-routed to their home shards (the
+// same map intake uses), ID sequences resumed globally, and the shared
+// clock advanced to the recovery tick. See Recover for the full
+// store-to-engine path.
+func NewRecovered(cfg Config, rst engine.RecoveredState) (*ShardedEngine, error) {
+	return build(cfg, &rst)
+}
+
+// probeFan broadcasts one registry delivery observation to every
+// engine's latency probe.
+type probeFan []*sched.LatencyProbe
+
+func (f probeFan) Observe(lag vtime.Duration) {
+	for _, p := range f {
+		p.Observe(lag)
+	}
+}
+
+// ShardMap exposes the asset→shard partition.
+func (s *ShardedEngine) ShardMap() Map { return s.m }
+
+// Shards reports the shard count (excluding the coordinator).
+func (s *ShardedEngine) Shards() int { return s.cfg.Shards }
+
+// Scheduler exposes the shared time scheduler (for load generators).
+func (s *ShardedEngine) Scheduler() sched.Scheduler { return s.sch }
+
+// Tick reports the configured wall duration of one virtual tick.
+func (s *ShardedEngine) Tick() time.Duration { return s.shards[0].Tick() }
+
+// Registry exposes the shared chain registry.
+func (s *ShardedEngine) Registry() *chain.Registry { return s.reg }
+
+// Keyring exposes the shared party keyring.
+func (s *ShardedEngine) Keyring() *core.Keyring { return s.keyring }
+
+// VerifyCacheStats snapshots the shared hashkey verification cache.
+func (s *ShardedEngine) VerifyCacheStats() hashkey.CacheStats { return s.vcache.Stats() }
+
+// Recovered reports whether this engine was rebuilt from a durable log.
+func (s *ShardedEngine) Recovered() bool { return s.recovered }
+
+// Coordinator exposes the cross-shard coordinator engine (tests and
+// diagnostics; routing belongs to Submit).
+func (s *ShardedEngine) Coordinator() *engine.Engine { return s.coord }
+
+// Shard exposes shard engine i (tests and diagnostics).
+func (s *ShardedEngine) Shard(i int) *engine.Engine { return s.shards[i] }
+
+// Start launches every inner engine and the escalation sweep.
+func (s *ShardedEngine) Start() error {
+	for _, e := range s.engines {
+		if err := e.Start(); err != nil {
+			return err
+		}
+	}
+	s.scheduleSweep()
+	return nil
+}
+
+// Submit routes one offer: assign the next global order ID, resolve the
+// home shard from the give-chain map, and book it there — or on the
+// coordinator directly when the offer's own transfers span shards.
+// Safe to call from many goroutines (deterministic runs submit from
+// scheduler callbacks, exactly like the single engine).
+func (s *ShardedEngine) Submit(offer core.Offer) (engine.OrderID, error) {
+	s.mu.Lock()
+	running := s.state == shardedRunning
+	s.mu.Unlock()
+	if !running {
+		return 0, engine.ErrNotRunning
+	}
+	home, cross := s.m.OfOffer(offer)
+	target := s.coord
+	if !cross {
+		target = s.shards[home]
+	}
+	// The ID is drawn before booking, so a rejected offer burns one;
+	// gaps are harmless (nothing assumes density), and the alternative —
+	// allocating under a router-wide lock held across booking — would
+	// serialize intake across shards.
+	id := engine.OrderID(s.nextID.Add(1))
+	err := target.SubmitRouted(engine.Routed{
+		ID:            id,
+		Offer:         offer,
+		SubmittedTick: s.sch.Now(),
+		SubmittedAt:   time.Now(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.ensureSweep()
+	return id, nil
+}
+
+// NoteShed records dropped arrivals (on shard 0, whose aggregate the
+// merged report folds in like any other).
+func (s *ShardedEngine) NoteShed(n int) { s.shards[0].NoteShed(n) }
+
+// sweepAt schedules fn at tick t on the escalation level of the ladder.
+func (s *ShardedEngine) sweepAt(t vtime.Ticks, fn func()) sched.Timer {
+	if s.vsched != nil {
+		return s.vsched.AtTailN(t, 2, uint64(s.cfg.Shards+2), fn)
+	}
+	return s.sch.At(t, fn)
+}
+
+// nextSweepTick aligns the sweep to the same ClearEvery grid the
+// deterministic clearing loops run on: at any grid tick the ladder is
+// shard clearing → sweep → coordinator clearing, whatever the shard
+// count — the alignment the digest-equality contract needs.
+func (s *ShardedEngine) nextSweepTick() vtime.Ticks {
+	now := s.sch.Now()
+	if s.vsched == nil || !s.cfg.Engine.Deterministic {
+		return now.Add(s.clearEvery)
+	}
+	every := int64(s.clearEvery)
+	return vtime.Ticks((int64(now)/every + 1) * every)
+}
+
+func (s *ShardedEngine) scheduleSweep() {
+	s.escMu.Lock()
+	defer s.escMu.Unlock()
+	if s.escStopped {
+		return
+	}
+	s.escTimer = s.sweepAt(s.nextSweepTick(), func() {
+		s.escMu.Lock()
+		if s.escStopped {
+			s.escMu.Unlock()
+			return
+		}
+		s.escWG.Add(1)
+		s.escMu.Unlock()
+		defer s.escWG.Done()
+		if s.sweepTick() {
+			s.scheduleSweep()
+		}
+	})
+}
+
+// ensureSweep re-arms a parked sweep (no-op otherwise).
+func (s *ShardedEngine) ensureSweep() {
+	s.escMu.Lock()
+	parked := s.escParked
+	s.escParked = false
+	s.escMu.Unlock()
+	if parked {
+		s.scheduleSweep()
+	}
+}
+
+// stopSweep cancels the sweep timer; wait, when set, additionally waits
+// out a tick in flight (Stop waits; Kill — callable from scheduler
+// callbacks — must not).
+func (s *ShardedEngine) stopSweep(wait bool) {
+	s.escMu.Lock()
+	s.escStopped = true
+	t := s.escTimer
+	s.escMu.Unlock()
+	if t != nil {
+		t.Stop()
+	}
+	if wait {
+		s.escWG.Wait()
+	}
+}
+
+// sweepTick is one escalation round: withdraw every order that has aged
+// past the cutoff from every shard book and re-book it — same ID, same
+// original submit instants — on the coordinator, in global ID order.
+// Runs at level 2 of the tick ladder: after every shard's clearing pass
+// of the tick (an order a shard can still match locally is matched, not
+// escalated), before the coordinator's. The return value says whether to
+// stay armed: with every shard book empty the sweep parks and intake
+// re-arms it.
+func (s *ShardedEngine) sweepTick() bool {
+	cutoff := s.sch.Now().Add(-s.escAfter)
+	var moved []engine.Routed
+	for _, sh := range s.shards {
+		moved = append(moved, sh.TakeEscalatable(cutoff)...)
+	}
+	// Each shard returns its own book in ID order; merge to global ID
+	// order so the coordinator's book order — and therefore its batch
+	// scan — is independent of the shard count.
+	sort.Slice(moved, func(i, j int) bool { return moved[i].ID < moved[j].ID })
+	for _, r := range moved {
+		if err := s.coord.SubmitRouted(r); err != nil {
+			// Only a dying coordinator refuses (Kill raced the sweep); the
+			// order is part of the crash the WAL already covers.
+			break
+		}
+	}
+	rem := 0
+	for _, sh := range s.shards {
+		rem += sh.Pending()
+	}
+	if rem == 0 {
+		s.escMu.Lock()
+		s.escParked = true
+		s.escMu.Unlock()
+		// Re-check under the parked flag: an order booked between the
+		// count and the park saw an armed sweep and did not re-arm it.
+		for _, sh := range s.shards {
+			if sh.Pending() > 0 {
+				s.ensureSweep()
+				break
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// Pending reports the total book depth across every engine.
+func (s *ShardedEngine) Pending() int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.Pending()
+	}
+	return n
+}
+
+// InFlight reports the total cleared swaps queued or executing.
+func (s *ShardedEngine) InFlight() int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.InFlight()
+	}
+	return n
+}
+
+// Order returns one order's snapshot, wherever it currently lives.
+func (s *ShardedEngine) Order(id engine.OrderID) (engine.OrderSnapshot, bool) {
+	for _, e := range s.engines {
+		if snap, ok := e.Order(id); ok {
+			return snap, true
+		}
+	}
+	return engine.OrderSnapshot{}, false
+}
+
+// Orders snapshots every order across every engine, in global ID order.
+// The sets are disjoint by construction: escalation WITHDRAWS an order
+// from its shard before the coordinator re-books it.
+func (s *ShardedEngine) Orders() []engine.OrderSnapshot {
+	var out []engine.OrderSnapshot
+	for _, e := range s.engines {
+		out = append(out, e.Orders()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Report assembles the merged service-level metrics: every engine's
+// aggregate folded in fixed shard order, with the signature count taken
+// once from the shared keyring (never summed per engine — they all meter
+// into the same counter).
+func (s *ShardedEngine) Report() metrics.Throughput {
+	agg := metrics.NewAggregate()
+	agg.SetStartedAt(s.startedAt)
+	for _, e := range s.engines {
+		e.MergeMetricsInto(agg)
+	}
+	agg.SetSigns(s.keyring.Signs())
+	return agg.Snapshot()
+}
+
+// CurrentDelta reports the coordinator's current Δ (under adaptive Δ all
+// engines adapt from the same fanned-out evidence, so any engine's value
+// is representative).
+func (s *ShardedEngine) CurrentDelta() vtime.Duration { return s.coord.CurrentDelta() }
+
+// ClearRounds reports the merged active-round count. Deterministic runs
+// merge per-engine round tick SETS — a tick where k engines all had live
+// work counts once, exactly as the same work would in a 1-shard run —
+// so the count is comparable across shard counts. Non-deterministic
+// runs report the plain sum. Call only after Stop.
+func (s *ShardedEngine) ClearRounds() int {
+	if s.cfg.Engine.Deterministic || s.cfg.Engine.Parallel {
+		ticks := make(map[vtime.Ticks]bool)
+		for _, e := range s.engines {
+			for _, t := range e.ClearRoundTicks() {
+				ticks[t] = true
+			}
+		}
+		return len(ticks)
+	}
+	n := 0
+	for _, e := range s.engines {
+		n += e.ClearRounds()
+	}
+	return n
+}
+
+// Kill stops the whole sharded engine abruptly — the crash-model
+// shutdown. One process hosts every shard, so one crash takes all of
+// them: the sweep stops, every engine is killed, and the returned cut
+// tick bounds what recovery replays. Call from a scheduler callback (as
+// the crash scenarios do) and the cut is one well-defined tick across
+// all engines. Call Stop afterwards to release workers and the
+// scheduler.
+func (s *ShardedEngine) Kill() vtime.Ticks {
+	s.mu.Lock()
+	if s.state == shardedRunning {
+		s.state = shardedDraining
+	}
+	s.killed = true
+	s.mu.Unlock()
+	s.stopSweep(false)
+	var cut vtime.Ticks
+	for _, e := range s.engines {
+		cut = e.Kill()
+	}
+	return cut
+}
+
+// Drain stops intake and waits for every book and every executor pool
+// to empty. Shard books drain first — the sweep escalates anything
+// their local rounds cannot match — then the coordinator, whose
+// drain-stall detection rejects the true unmatchables.
+func (s *ShardedEngine) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.state == shardedRunning {
+		s.state = shardedDraining
+	}
+	killed := s.killed
+	s.mu.Unlock()
+	if !killed {
+		// Wait out the shard books: local rounds clear what they can,
+		// the sweep moves the rest to the coordinator, and under virtual
+		// time the clock free-runs through both. Coarse poll — every
+		// transition is scheduler-driven, this loop only observes it.
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			n := 0
+			for _, sh := range s.shards {
+				n += sh.Pending()
+			}
+			if n == 0 {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-tick.C:
+			}
+		}
+	}
+	for _, sh := range s.shards {
+		if err := sh.Drain(ctx); err != nil {
+			return err
+		}
+	}
+	return s.coord.Drain(ctx)
+}
+
+// Stop gracefully shuts the sharded engine down: drain everything, stop
+// the sweep, stop every inner engine, and close the shared scheduler
+// (once — the inner engines know it is injected and leave it alone).
+func (s *ShardedEngine) Stop(ctx context.Context) error {
+	drainErr := s.Drain(ctx)
+	s.mu.Lock()
+	if s.state == shardedStopped {
+		s.mu.Unlock()
+		return drainErr
+	}
+	s.state = shardedStopped
+	s.mu.Unlock()
+	s.stopSweep(true)
+	for _, e := range s.engines {
+		if err := e.Stop(ctx); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	if s.vsched != nil {
+		s.vsched.Close()
+	}
+	return drainErr
+}
+
+// VerifyConservation checks the no-double-spend invariant across the
+// whole sharded deployment: every engine's minted assets, plus every
+// asset recovery re-minted at the sharded level, still exist exactly
+// once with their recorded amounts, and every ledger hash chain is
+// intact. When nothing is in flight anywhere it additionally requires
+// party ownership (no stranded escrow).
+func (s *ShardedEngine) VerifyConservation() error { return s.verifyLedgers(true) }
+
+// VerifyLedgerIntegrity is VerifyConservation without the stranded-
+// escrow check (crash-faulted scenarios — see the engine counterpart).
+func (s *ShardedEngine) VerifyLedgerIntegrity() error { return s.verifyLedgers(false) }
+
+func (s *ShardedEngine) verifyLedgers(strandCheck bool) error {
+	for i, e := range s.engines {
+		var err error
+		if strandCheck {
+			err = e.VerifyConservation()
+		} else {
+			err = e.VerifyLedgerIntegrity()
+		}
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	// The recovery re-mints bypass the inner engines' audit lists.
+	if len(s.recMinted) == 0 {
+		return nil
+	}
+	if !s.reg.VerifyAllLedgers() {
+		return errors.New("shard: ledger hash chain broken")
+	}
+	quiescent := s.InFlight() == 0
+	for _, m := range s.recMinted {
+		ch := s.reg.Chain(m.chain)
+		a, ok := ch.Asset(m.asset)
+		if !ok {
+			return fmt.Errorf("shard: recovered asset %s/%s vanished", m.chain, m.asset)
+		}
+		if a.Amount != m.amount {
+			return fmt.Errorf("shard: recovered asset %s/%s amount changed: minted %d, now %d",
+				m.chain, m.asset, m.amount, a.Amount)
+		}
+		owner, ok := ch.OwnerOf(m.asset)
+		if !ok {
+			return fmt.Errorf("shard: recovered asset %s/%s has no owner", m.chain, m.asset)
+		}
+		if strandCheck && quiescent && owner.Kind != chain.OwnerParty {
+			return fmt.Errorf("shard: recovered asset %s/%s stranded in escrow (%s)",
+				m.chain, m.asset, owner)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+package shard
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/go-atomicswap/atomicswap/internal/durable"
+	"github.com/go-atomicswap/atomicswap/internal/engine"
+)
+
+func detConfig(shards int, seed int64) Config {
+	return Config{
+		Shards: shards,
+		Engine: engine.Config{
+			Deterministic: true,
+			Workers:       4,
+			Seed:          seed,
+			MaxLive:       1 << 10,
+		},
+	}
+}
+
+// submitRing books one barter ring whose member chains follow the given
+// list (cycled), returning the order IDs.
+func submitRing(t *testing.T, s *ShardedEngine, ring, size int, chains []string) []engine.OrderID {
+	t.Helper()
+	ids := make([]engine.OrderID, 0, size)
+	for i := 0; i < size; i++ {
+		id, err := s.Submit(engine.LoadOfferOn(ring, i, size, ring, chains[i%len(chains)]))
+		if err != nil {
+			t.Fatalf("ring %d offer %d: %v", ring, i, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TestShardLocalRingClearsLocally: a ring drawn entirely from one
+// shard's chain pool settles in that shard — the coordinator never
+// books an order, which is the whole point of sharding (per-round
+// clearing cost is O(shard book), not O(global book)).
+func TestShardLocalRingClearsLocally(t *testing.T) {
+	s := New(detConfig(2, 11))
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pool := s.ShardMap().Pools(2)
+	ids := submitRing(t, s, 0, 3, pool[1])
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		snap, ok := s.Order(id)
+		if !ok || snap.Status != engine.StatusSettled {
+			t.Fatalf("order %d: %+v, want settled", id, snap)
+		}
+	}
+	if n := len(s.Coordinator().Orders()); n != 0 {
+		t.Fatalf("coordinator booked %d orders for a shard-local ring", n)
+	}
+	if err := s.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardEscalationClearsCrossRing: a ring whose members' chains live
+// in different shards cannot clear in any one shard book. Its offers
+// age past the escalation cutoff, the sweep withdraws them to the
+// coordinator, and the cross-shard ring settles there — with every
+// asset accounted for afterwards.
+func TestShardEscalationClearsCrossRing(t *testing.T) {
+	s := New(detConfig(2, 12))
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pool := s.ShardMap().Pools(2)
+	// Members alternate shards: offers 0,2 in shard 0's pool, offer 1 in
+	// shard 1's.
+	ids := submitRing(t, s, 0, 3, []string{pool[0][0], pool[1][0]})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		snap, ok := s.Order(id)
+		if !ok || snap.Status != engine.StatusSettled {
+			t.Fatalf("order %d: %+v, want settled", id, snap)
+		}
+		if snap.Swap == "" {
+			t.Fatalf("order %d settled with no swap tag", id)
+		}
+	}
+	// The settle must have happened on the coordinator: escalation
+	// withdraws the orders from the shard books and re-books them there.
+	coordOrders := s.Coordinator().Orders()
+	if len(coordOrders) != 3 {
+		t.Fatalf("coordinator holds %d orders, want the whole 3-ring", len(coordOrders))
+	}
+	if err := s.VerifyConservation(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.SwapsFinished != 1 {
+		t.Fatalf("SwapsFinished = %d, want 1", rep.SwapsFinished)
+	}
+}
+
+// TestShardRemapRefoldsLedgers: the same offer stream executed on 1, 2,
+// and 4 shards must fold to the same ledgers — identical per-chain
+// asset totals and identical swap counts. Remapping is an execution
+// choice; the economics cannot move.
+func TestShardRemapRefoldsLedgers(t *testing.T) {
+	// The stream is generated against the 4-shard pools whatever the
+	// execution shard count, exactly like the scenario harness does.
+	gen := NewMap(4).Pools(2)
+	run := func(shards int) (map[string]uint64, int) {
+		s := New(detConfig(shards, 13))
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for ring := 0; ring < 8; ring++ {
+			home := ring % 4
+			chains := gen[home]
+			if ring%3 == 0 { // every third ring spans two generation pools
+				chains = []string{gen[home][0], gen[(home+1)%4][0]}
+			}
+			submitRing(t, s, ring, 3, chains)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Stop(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.VerifyConservation(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		totals := make(map[string]uint64)
+		for _, name := range s.Registry().Names() {
+			ch := s.Registry().Chain(name)
+			for id := range ch.Snapshot() {
+				a, ok := ch.Asset(id)
+				if !ok {
+					t.Fatalf("shards=%d: asset %s vanished from %s", shards, id, name)
+				}
+				totals[name] += a.Amount
+			}
+		}
+		return totals, s.Report().SwapsFinished
+	}
+	baseTotals, baseSwaps := run(1)
+	for _, n := range []int{2, 4} {
+		totals, swaps := run(n)
+		if swaps != baseSwaps {
+			t.Fatalf("shards=%d finished %d swaps, 1-shard finished %d", n, swaps, baseSwaps)
+		}
+		if len(totals) != len(baseTotals) {
+			t.Fatalf("shards=%d has %d chains, 1-shard has %d", n, len(totals), len(baseTotals))
+		}
+		for name, amt := range baseTotals {
+			if totals[name] != amt {
+				t.Fatalf("shards=%d: chain %s totals %d, 1-shard %d", n, name, totals[name], amt)
+			}
+		}
+	}
+}
+
+// TestShardSharedCacheBatchWorkers: the hashkey batch-verify pool is
+// sized ONCE from the machine-wide worker budget — N shards on one box
+// must not stack N default-sized pools (the oversubscription this PR
+// fixes). Every inner engine shares the one injected cache.
+func TestShardSharedCacheBatchWorkers(t *testing.T) {
+	cfg := detConfig(4, 14)
+	cfg.Engine.Workers = 8
+	s := New(cfg)
+	want := 8
+	if n := runtime.GOMAXPROCS(0); want > n {
+		want = n
+	}
+	if got := s.vcache.BatchWorkers(); got != want {
+		t.Fatalf("shared cache batch workers = %d, want min(total Workers, GOMAXPROCS) = %d", got, want)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	s.Stop(ctx)
+
+	off := detConfig(4, 14)
+	off.Engine.DisableBatchVerify = true
+	s2 := New(off)
+	if got := s2.vcache.BatchWorkers(); got != 1 {
+		t.Fatalf("DisableBatchVerify: batch workers = %d, want 1", got)
+	}
+	s2.Stop(ctx)
+}
+
+// TestShardSignsPerSwap pins the ed25519 signing floor across the
+// sharded deployment: identities live in ONE shared keyring, so a party
+// whose offers land in different shards still signs under one cached
+// expanded key, and the merged report's signature count comes from that
+// single meter (never summed per engine). A 3-ring general-kind swap
+// needs one plan signature per member; re-running the same parties
+// through more rings must not re-derive or re-count identities.
+func TestShardSignsPerSwap(t *testing.T) {
+	s := New(detConfig(2, 15))
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pool := s.ShardMap().Pools(2)
+	for ring := 0; ring < 6; ring++ {
+		chains := pool[ring%2]
+		if ring%3 == 0 {
+			chains = []string{pool[0][0], pool[1][0]}
+		}
+		submitRing(t, s, ring, 3, chains)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.SwapsFinished != 6 {
+		t.Fatalf("SwapsFinished = %d, want 6", rep.SwapsFinished)
+	}
+	if rep.Signs != s.Keyring().Signs() {
+		t.Fatalf("report signs %d != keyring meter %d", rep.Signs, s.Keyring().Signs())
+	}
+	if rep.Signs == 0 || rep.SignsPerSwap <= 0 {
+		t.Fatalf("no signatures metered: %+v", rep)
+	}
+	// Signing floor: each of the 18 distinct parties signs its hashkey
+	// chain links, but identity derivation is once-per-party, so the
+	// per-swap figure stays bounded (one order of magnitude headroom over
+	// the 3-party plan; a regression that re-signs per verification or
+	// per hop blows straight past this).
+	if rep.SignsPerSwap > 30 {
+		t.Fatalf("signs per swap = %.1f, want <= 30", rep.SignsPerSwap)
+	}
+}
+
+// TestShardCrashRecovery: kill the whole sharded deployment mid-run and
+// rebuild it from the single shared WAL. Recovery folds the log once,
+// re-partitions orders by the same asset→shard map, restores identities
+// into the shared keyring, and the second life drains every resumed or
+// still-pending order with ledgers intact — including orders that had
+// already escalated to the coordinator before the crash (they fold back
+// to their home shards and re-escalate by age).
+func TestShardCrashRecovery(t *testing.T) {
+	dir, err := os.MkdirTemp("", "shard-crash-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := durable.Open(durable.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := detConfig(2, 16)
+	cfg.Engine.Store = store
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pool := s.ShardMap().Pools(2)
+	for ring := 0; ring < 6; ring++ {
+		chains := pool[ring%2]
+		if ring%2 == 0 { // half the rings are cross-shard: they exercise escalation state
+			chains = []string{pool[0][0], pool[1][0]}
+		}
+		submitRing(t, s, ring, 3, chains)
+	}
+	// Crash from a scheduler callback so the cut is one well-defined tick
+	// across all engines, mid-clearing rather than at quiescence.
+	cutCh := make(chan struct{})
+	var cut = s.Scheduler().Now()
+	s.Scheduler().At(cut.Add(6), func() {
+		cut = s.Kill()
+		close(cutCh)
+	})
+	select {
+	case <-cutCh:
+	case <-time.After(time.Minute):
+		t.Fatal("kill never fired")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life on a different shard count: the WAL carries
+	// shard-independent identities, so the fold re-partitions cleanly
+	// onto any map.
+	b, rec, err := Recover(detConfig(4, 16), durable.RecoverOptions{Dir: dir, CutTick: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Recovered() {
+		t.Fatal("recovered engine does not report Recovered")
+	}
+	if rec.Events == 0 {
+		t.Fatal("recovery replayed no events")
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VerifyLedgerIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Every order the first life booked at or before the cut must exist
+	// in the second life, terminal.
+	orders := b.Orders()
+	if len(orders) == 0 {
+		t.Fatal("no orders recovered")
+	}
+	for _, o := range orders {
+		if o.Status != engine.StatusSettled && o.Status != engine.StatusRejected {
+			t.Fatalf("recovered order %d left non-terminal: %+v", o.ID, o)
+		}
+	}
+	rep := b.Report()
+	if rep.SwapsFailed > 0 {
+		t.Fatalf("%d swaps failed after recovery", rep.SwapsFailed)
+	}
+}

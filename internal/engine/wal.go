@@ -23,6 +23,13 @@ const (
 	// EvCleared: a clearing round matched orders into a swap and
 	// dispatched it; Swap, Orders.
 	EvCleared EventKind = "cleared"
+	// EvPrepared: AC3-style prepare record, logged by a cross-shard
+	// coordinator after a group's reservations are ALL held and before
+	// the swap commits (EvCleared); Swap, Orders, Count (distinct shards
+	// the swap spans). A prepared-but-never-cleared swap folds to
+	// pending orders — its reservations died with the crash, so the
+	// prepare is refunded and the orders resume.
+	EvPrepared EventKind = "prepared"
 	// EvReserved: the swap acquired an asset reservation; Swap, Chain,
 	// Asset.
 	EvReserved EventKind = "reserved"

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"github.com/go-atomicswap/atomicswap/internal/digraph"
 )
@@ -59,11 +60,20 @@ func (s Secret) String() string { return "secret(…" + hex.EncodeToString(s[28:
 // String renders a short hex prefix of the lock.
 func (l Lock) String() string { return hex.EncodeToString(l[:4]) }
 
-// Signer is a party's signing identity.
+// Signer is a party's signing identity. The stored ed25519.PrivateKey is
+// the expanded (seed ‖ public key) form, derived once at construction —
+// signing never re-derives the keypair from the seed. (The per-sign
+// SHA-512 prefix expansion is internal to crypto/ed25519 and has no
+// public precomputation hook; the derivation this cache elides is the
+// seed→keypair step.)
 type Signer struct {
 	vertex digraph.Vertex
 	pub    ed25519.PublicKey
 	priv   ed25519.PrivateKey
+	// meter, when set, counts every Sign call. Views returned by At share
+	// the meter, so a keyring-owned counter sees all signs made under any
+	// vertex binding of the identity.
+	meter *atomic.Uint64
 }
 
 // NewSigner creates a signing identity for the given vertex using
@@ -105,17 +115,29 @@ func (s *Signer) Vertex() digraph.Vertex { return s.vertex }
 func (s *Signer) Public() ed25519.PublicKey { return s.pub }
 
 // Sign signs msg.
-func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+func (s *Signer) Sign(msg []byte) []byte {
+	if s.meter != nil {
+		s.meter.Add(1)
+	}
+	return ed25519.Sign(s.priv, msg)
+}
+
+// SetMeter installs a counter incremented on every Sign. Signature count
+// is part of the protocol's cost model (each swap needs exactly one
+// leader sign per secret plus one wrap per chain extension), so metering
+// makes signature-count regressions visible in throughput reports.
+func (s *Signer) SetMeter(m *atomic.Uint64) { s.meter = m }
 
 // At returns a view of the same signing identity bound to a different
-// vertex. Key material is shared, not copied: this is how a persistent
-// party identity (one keypair for the party's lifetime) is rebound to
-// whatever vertex the party is assigned in each cleared swap.
+// vertex. Key material (and the sign meter) is shared, not copied: this
+// is how a persistent party identity (one keypair for the party's
+// lifetime) is rebound to whatever vertex the party is assigned in each
+// cleared swap.
 func (s *Signer) At(vertex digraph.Vertex) *Signer {
 	if s.vertex == vertex {
 		return s
 	}
-	return &Signer{vertex: vertex, pub: s.pub, priv: s.priv}
+	return &Signer{vertex: vertex, pub: s.pub, priv: s.priv, meter: s.meter}
 }
 
 // Directory maps vertexes to their public keys; contracts use it to verify

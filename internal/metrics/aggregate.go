@@ -45,6 +45,10 @@ type Aggregate struct {
 
 	reservationConflicts int
 
+	// signs is the total ed25519 signature count, set from the keyring
+	// meter at snapshot time (not accumulated here).
+	signs uint64
+
 	// Adaptive-Δ telemetry: one point per controller decision, thinned to
 	// every deltaStride-th decision so a long run's trajectory stays
 	// bounded without losing its shape.
@@ -61,6 +65,16 @@ func NewAggregate() *Aggregate {
 		outcomes:   make(map[string]int),
 		deviations: make(map[string]int),
 	}
+}
+
+// SetStartedAt overrides the epoch elapsed time and the /sec rates are
+// measured from. A merge target built at report time (the sharded
+// engine's merged report) must inherit the deployment's own start
+// instant, or its elapsed collapses to the merge's duration.
+func (a *Aggregate) SetStartedAt(t time.Time) {
+	a.mu.Lock()
+	a.startedAt = t
+	a.mu.Unlock()
 }
 
 // AddSubmitted records offers entering the intake queue.
@@ -212,6 +226,59 @@ func (a *Aggregate) SetRecovery(rs RecoveryStats) {
 	a.mu.Unlock()
 }
 
+// SetSigns records the total ed25519 signature count (from the keyring's
+// sign meter); Snapshot derives signs-per-swap from it. Set, not added:
+// the meter is already cumulative.
+func (a *Aggregate) SetSigns(n uint64) {
+	a.mu.Lock()
+	a.signs = n
+	a.mu.Unlock()
+}
+
+// Merge folds other's counters, outcome maps, latency histogram, and
+// Δ-trajectory into a. The sharded engine uses it to assemble one
+// service-level report from per-shard aggregates; called once per shard
+// in a fixed order after the shards have stopped, so the concatenated
+// trajectory is deterministic. Peak concurrency sums (shards peak
+// independently — the sum is an upper bound on the true joint peak), and
+// the sign count is left untouched: with a shared keyring it is global
+// already and the caller sets it once on the merged aggregate.
+func (a *Aggregate) Merge(other *Aggregate) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.offersSubmitted += other.offersSubmitted
+	a.offersCleared += other.offersCleared
+	a.offersRejected += other.offersRejected
+	a.offersShed += other.offersShed
+	a.swapsStarted += other.swapsStarted
+	a.swapsFinished += other.swapsFinished
+	a.swapsFailed += other.swapsFailed
+	a.inflight += other.inflight
+	a.peakInflight += other.peakInflight
+	a.ordersSabotaged += other.ordersSabotaged
+	a.reservationConflicts += other.reservationConflicts
+	for k, v := range other.outcomes {
+		a.outcomes[k] += v
+	}
+	for k, v := range other.deviations {
+		a.deviations[k] += v
+	}
+	a.latencyCount += other.latencyCount
+	a.latencySum += other.latencySum
+	if other.latencyMax > a.latencyMax {
+		a.latencyMax = other.latencyMax
+	}
+	a.latencyHist.Merge(&other.latencyHist)
+	a.windowHist.Merge(&other.windowHist)
+	if other.recovery != nil && a.recovery == nil {
+		cp := *other.recovery
+		a.recovery = &cp
+	}
+	a.deltaTraj = append(a.deltaTraj, other.deltaTraj...)
+}
+
 // RestoredCounts carries the counters a recovered engine inherits from
 // its pre-crash life; Restore folds them into a fresh aggregate so the
 // post-recovery totals continue the pre-crash series.
@@ -342,6 +409,13 @@ type Throughput struct {
 	DeltaTrajectory []DeltaPoint   `json:"delta_trajectory,omitempty"`
 	Outcomes        map[string]int `json:"outcomes"`
 	ResvConflicts   int            `json:"reservation_conflicts"`
+	// Signs is the total ed25519 signatures produced under keyring
+	// identities; SignsPerSwap normalizes by finished swaps. The protocol
+	// floor is one leader sign per secret plus one wrap per chain
+	// extension, so a drift in this ratio flags a signature-count
+	// regression before it shows up as throughput loss.
+	Signs        uint64  `json:"signs,omitempty"`
+	SignsPerSwap float64 `json:"signs_per_swap,omitempty"`
 	// Recovery is present only on engines rebuilt from a durable store.
 	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
@@ -367,6 +441,10 @@ func (a *Aggregate) Snapshot() Throughput {
 		PeakConcurrent:  a.peakInflight,
 		Outcomes:        make(map[string]int, len(a.outcomes)),
 		ResvConflicts:   a.reservationConflicts,
+		Signs:           a.signs,
+	}
+	if a.signs > 0 && a.swapsFinished > 0 {
+		t.SignsPerSwap = float64(a.signs) / float64(a.swapsFinished)
 	}
 	if a.recovery != nil {
 		cp := *a.recovery
@@ -420,6 +498,9 @@ func (t Throughput) String() string {
 		t.OffersSubmittedPerSec, t.OffersClearedPerSec, t.SwapsPerSec, t.ElapsedSec)
 	fmt.Fprintf(&b, "latency: avg %.2fms, p50 %.2fms, p95 %.2fms, p99 %.2fms, max %.2fms\n",
 		t.AvgLatencyMs, t.P50LatencyMs, t.P95LatencyMs, t.P99LatencyMs, t.MaxLatencyMs)
+	if t.Signs > 0 {
+		fmt.Fprintf(&b, "signs:  %d total, %.2f per swap\n", t.Signs, t.SignsPerSwap)
+	}
 	if r := t.Recovery; r != nil {
 		fmt.Fprintf(&b, "recovery: %d events replayed, %d orders resumed, %d refunded, %.1fms wall\n",
 			r.Replayed, r.Resumed, r.Refunded, r.WallMs)

@@ -73,6 +73,26 @@ func (h *Histogram) Record(d time.Duration) {
 	h.count++
 }
 
+// Merge folds other's observations into h: bucket counts add, min/max
+// widen. The sharded engine uses it to combine per-shard latency
+// histograms into one service-level distribution (exact at bucket
+// granularity — the buckets of both histograms are identical).
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+}
+
 // Reset discards every recorded observation, returning the histogram to
 // its empty state. Windowed percentile reporting is Record between
 // reads, Quantile at the read, then Reset.

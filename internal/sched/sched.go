@@ -313,6 +313,22 @@ func (v *Virtual) AtTail(t vtime.Ticks, fn func()) Timer {
 	return v.schedule(t, 1, 0, fn)
 }
 
+// AtTailN schedules fn at tail level `level` (≥ 1) with a stripe key.
+// Levels extend AtTail into a ladder: all events of level k at tick t run
+// (and fully drain, cascades included) before any event of level k+1, and
+// within one level distinct stripe keys may run concurrently under
+// striped-parallel dispatch. The sharded engine uses the ladder to order
+// one tick's phases — protocol events (level 0, via At/AtKeyed), per-shard
+// clearing (level 1, keyed by shard), the cross-shard escalation sweep
+// (level 2), and coordinator clearing (level 3) — with a determinism
+// barrier between each phase.
+func (v *Virtual) AtTailN(t vtime.Ticks, level int8, key uint64, fn func()) Timer {
+	if level < 1 {
+		level = 1
+	}
+	return v.schedule(t, level, key, fn)
+}
+
 func (v *Virtual) schedule(t vtime.Ticks, prio int8, key uint64, fn func()) Timer {
 	v.mu.Lock()
 	defer v.mu.Unlock()
