@@ -11,6 +11,7 @@
 //	swapbench -bench-json
 //	swapbench -scenario all [-scenario-seed N] [-scenario-parallel] [-scenario-shards N]
 //	swapbench -recovery-json
+//	swapbench -reorg-json
 //	swapbench -parallel-json [-parallel-repeat N] [-parallel-rings N]
 //	swapbench -shard-json [-shard-repeat N] [-shard-rings N]
 //
@@ -42,7 +43,10 @@
 // trajectory point: the engine sweep in all three time modes plus the
 // hot-path micro-benchmarks (hashkey verification cached/uncached,
 // keyring vs fresh-keygen setup) — the format committed as BENCH_NN.json
-// files. With -parallel-json it emits the BENCH_04 dispatch-mode sweep
+// files. With -reorg-json it emits the BENCH_06 chain-realism sweep:
+// confirmation depth crossed with reorg rate on a fixed scenario load,
+// reporting what each point costs in clearing rounds, settle latency,
+// and reverted records. With -parallel-json it emits the BENCH_04 dispatch-mode sweep
 // (worker ladder × serial-det/parallel-det/concurrent with a
 // batch-verify ablation), and with -shard-json the BENCH_05 sharded
 // sweep (shard-count ladder × cross-shard traffic ratio on the
@@ -429,6 +433,54 @@ func keyringMicro() {
 		fresh, keyring, fresh/keyring)
 }
 
+// reorgSweep is the BENCH_06 measurement: the chain-realism cost
+// surface. Confirmation depth (2/4/8 ticks) is crossed with reorg rate
+// (0/10/25% per record) on the reorg-depth scenario's load shape, plus
+// the instant-finality baseline, and every point reports what realism
+// costs: clearing rounds, last settle tick, and the revert count. Each
+// line carries the digest hash — the runs are seeded scenarios, so the
+// whole sweep is replay-stable and CI can diff two invocations.
+func reorgSweep() error {
+	run := func(depth vtime.Duration, rate float64) error {
+		sc := scenario.Scenario{
+			Name:         fmt.Sprintf("reorg-sweep-d%d-r%d", depth, int(100*rate)),
+			Seed:         909,
+			Offers:       48,
+			Rate:         2000,
+			Profile:      "poisson",
+			ConfirmDepth: depth,
+			ReorgRate:    rate,
+		}
+		res, err := scenario.Run(sc)
+		if err != nil {
+			return fmt.Errorf("reorg sweep depth %d rate %.2f: %w", depth, rate, err)
+		}
+		d := res.Digest
+		fmt.Printf("{\"bench\":\"engine_reorg\",\"confirm_depth\":%d,\"reorg_rate\":%.2f,"+
+			"\"reverts\":%d,\"clear_rounds\":%d,\"last_settle_tick\":%d,"+
+			"\"swaps_finished\":%d,\"swaps_failed\":%d,\"conservation\":%q,\"hash\":%q}\n",
+			depth, rate, d.Reverts, d.ClearRounds, d.LastSettleTick,
+			d.SwapsFinished, d.SwapsFailed, d.Conservation, d.Hash())
+		if n := len(res.Violations); n > 0 {
+			return fmt.Errorf("reorg sweep depth %d rate %.2f: %d safety violations (first: %s)",
+				depth, rate, n, res.Violations[0].Detail)
+		}
+		return nil
+	}
+	// Instant-finality baseline: the pre-commitment-model engine.
+	if err := run(0, 0); err != nil {
+		return err
+	}
+	for _, depth := range []vtime.Duration{2, 4, 8} {
+		for _, rate := range []float64{0, 0.10, 0.25} {
+			if err := run(depth, rate); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // benchJSON emits the full trajectory point: micro-benchmarks plus the
 // engine sweep in all three time modes, one JSON object per line.
 // parallelSweep is the BENCH_04 measurement: a worker ladder crossed with
@@ -608,6 +660,7 @@ func main() {
 	scenarioParallel := flag.Bool("scenario-parallel", false, "run -scenario on the striped-parallel dispatcher (digests must stay byte-identical; CI diffs serial vs parallel output)")
 	scenarioShards := flag.Int("scenario-shards", 0, "run -scenario on a sharded engine with this many shards (0 = the scenario's own shard count; digests of shard-local scenarios must stay byte-identical to 1-shard runs — CI diffs them)")
 	recoveryFlag := flag.Bool("recovery-json", false, "emit the crash-recovery point (engine-crash@tick digest + 10k-event WAL recovery timing) as JSON and exit")
+	reorgJSON := flag.Bool("reorg-json", false, "emit the BENCH_06 chain-realism sweep (confirmation depth 2/4/8 × reorg rate 0/10/25% + instant baseline) as JSON and exit")
 	parallelJSON := flag.Bool("parallel-json", false, "emit the BENCH_04 dispatch-mode sweep (worker ladder × serial-det/parallel-det/concurrent, batch-verify ablation) as JSON and exit")
 	parallelRepeat := flag.Int("parallel-repeat", 3, "runs per -parallel-json point (best-of)")
 	parallelRings := flag.Int("parallel-rings", 16, "rings per worker at each -parallel-json ladder point (the JSON \"rings\" field is this × \"concurrency\")")
@@ -626,6 +679,14 @@ func main() {
 
 	if *parallelJSON {
 		if err := parallelSweep(*parallelRepeat, *parallelRings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *reorgJSON {
+		if err := reorgSweep(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -13,6 +13,7 @@
 //	      [-max-pending 4096] ...
 //	swapd -shards 4 [-cross-ratio 0.1] ...
 //	swapd -data-dir /tmp/swapd [-snapshot-every 4096] ...
+//	swapd -confirm-depth 4 [-reorg-rate 0.15] ...
 //
 // With -shards N clearing is partitioned across N asset-sharded engines
 // (each with its own order book, reservations, and clearing loop) plus a
@@ -30,6 +31,14 @@
 // budget, and the run continues with recovery counters in the report.
 // Kill-and-restart demo: start a long run with -data-dir, `kill -9` it
 // mid-flight, re-run the same command, and watch the recovery line.
+//
+// With -confirm-depth every asset chain runs under a confirmation-depth
+// commitment model: a record is final only that many ticks after it
+// lands, the timelock ladder stretches by the per-chain depth, and the
+// report carries per-chain Δ. Adding -reorg-rate reverts each record
+// with that seeded probability before it finalizes (transaction-level
+// reorgs); reverted swaps re-settle or refund, and the report counts
+// the reverted records.
 //
 // By default the whole book is submitted up front (closed loop). With
 // -arrival-rate offers instead stream in open-loop from the -profile
@@ -193,6 +202,9 @@ func main() {
 
 		dataDir   = flag.String("data-dir", "", "durable state directory: log engine events to a WAL and recover from it on restart")
 		snapEvery = flag.Int("snapshot-every", 4096, "with -data-dir, snapshot and truncate the WAL every N events")
+
+		confirmDepth = flag.Int("confirm-depth", 0, "chain realism: a record is final only this many ticks after it lands (0 = instant finality); the timelock ladder stretches to match")
+		reorgRate    = flag.Float64("reorg-rate", 0, "with -confirm-depth >= 2: seeded per-record probability that an applied record reverts before finalizing")
 	)
 	flag.Parse()
 	if *ringMin < 2 || *ringMax < *ringMin {
@@ -200,6 +212,12 @@ func main() {
 	}
 	if *arrivalRate > 0 && *conflicts > 0 {
 		log.Fatal("-conflicts is a closed-loop feature; drop it or -arrival-rate")
+	}
+	if *reorgRate < 0 || *reorgRate > 1 {
+		log.Fatal("-reorg-rate must be in [0, 1]")
+	}
+	if *reorgRate > 0 && *confirmDepth < 2 {
+		log.Fatal("-reorg-rate needs -confirm-depth >= 2 (a revert must land before finality)")
 	}
 
 	cfg := engine.Config{
@@ -214,6 +232,11 @@ func main() {
 		MinDelta:      vtime.Duration(*minDelta),
 		MaxDelta:      vtime.Duration(*maxDelta),
 		MaxClearAhead: *clrAhead,
+		Commitment: engine.CommitmentConfig{
+			ConfirmDepth: vtime.Duration(*confirmDepth),
+			ReorgRate:    *reorgRate,
+			Seed:         *seed,
+		},
 	}
 	if *crossRatio > 0 && (*shards <= 1 || *arrivalRate <= 0) {
 		log.Fatal("-cross-ratio needs -shards > 1 and -arrival-rate")

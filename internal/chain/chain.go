@@ -134,6 +134,14 @@ const (
 	// NoteData records a bare data publication (market-clearing plans,
 	// the Phase Two broadcast optimization).
 	NoteData
+	// NoteReverted records a commitment-model revert: an applied but
+	// not-yet-final record was rolled back (see CommitmentModel). The
+	// ledger stays append-only — the revert is itself a record.
+	NoteReverted
+	// NoteFinalized is a notification-only kind (never a ledger record):
+	// a previously provisional transfer reached its chain's confirmation
+	// depth and is now final.
+	NoteFinalized
 )
 
 var noteNames = map[NoteKind]string{
@@ -142,6 +150,8 @@ var noteNames = map[NoteKind]string{
 	NoteInvocation:        "invocation",
 	NoteTransfer:          "transfer",
 	NoteData:              "data",
+	NoteReverted:          "reverted",
+	NoteFinalized:         "finalized",
 }
 
 // String returns the note-kind name.
@@ -164,6 +174,14 @@ type Notification struct {
 	Sender   PartyID
 	Event    any
 	Note     string
+	// Provisional marks a record that is applied but not yet final under
+	// the chain's commitment model: it may still be reverted. Instant
+	// chains never set it, so the zero value preserves the ideal-chain
+	// reading of every pre-model notification.
+	Provisional bool
+	// Reverted, on a NoteReverted notification, is the kind of the
+	// record that was rolled back.
+	Reverted NoteKind
 }
 
 // Record is one entry of the append-only ledger. Records are hash-chained:
@@ -228,6 +246,62 @@ type Chain struct {
 	// churn (six route edits per swap) must not copy the table.
 	routesMu sync.RWMutex
 	routes   map[ContractID]map[string]func(Notification)
+
+	// Commitment-model state (nil/empty on Instant chains — the default
+	// — so the ideal-chain hot path pays one nil check per append).
+	// model draws each record's fate; timing caches model.Timing();
+	// onDue asks the owner (registry pump or self-scheduler) to call
+	// SettleCommitments at a tick. commits holds each contract's
+	// non-final record suffix, fated counts per-contract fate indices,
+	// revertible caches which contracts can be rolled back, replays is
+	// the re-apply queue (reverted operations re-entering at their
+	// scheduled tick, like transactions re-mined after a reorg), and
+	// dueQueue carries ticks to hand to onDue once c.mu is released.
+	model      CommitmentModel
+	timing     Timing
+	onDue      func(vtime.Ticks)
+	commits    map[ContractID][]commitEntry
+	fated      map[ContractID]int
+	revertible map[ContractID]bool
+	replays    []replayOp
+	dueQueue   []vtime.Ticks
+	selfPumpMu sync.Mutex
+	selfPumpAt map[vtime.Ticks]struct{}
+}
+
+// commitEntry is one applied-but-not-final record awaiting its fate.
+type commitEntry struct {
+	seq      int
+	kind     NoteKind
+	finalAt  vtime.Ticks
+	revertAt vtime.Ticks // 0 = no revert scheduled
+	undo     undoEntry
+}
+
+// undoEntry is everything needed to roll one record back and, for
+// publish/invocation records, to re-apply it after the revert.
+type undoEntry struct {
+	contract  Contract // publish: the contract object (for re-apply)
+	snapshot  any      // invocation: pre-call contract state
+	asset     AssetID  // publish/transfer: escrow to unwind
+	prevOwner Owner    // publish/transfer: owner to restore
+	sender    PartyID
+	method    string // invocation re-apply
+	args      any
+	argsSize  int
+}
+
+// replayOp is one reverted operation queued for re-application — the
+// mempool re-including a transaction the reorg dropped.
+type replayOp struct {
+	at       vtime.Ticks
+	kind     NoteKind
+	sender   PartyID
+	id       ContractID
+	contract Contract
+	method   string
+	args     any
+	argsSize int
 }
 
 // New creates an empty chain with the given name, reading timestamps from
@@ -429,11 +503,24 @@ func (c *Chain) PublishContract(sender PartyID, contract Contract) error {
 		return fmt.Errorf("%w: contract names party %s, published by %s",
 			ErrNotOwner, contract.Party(), sender)
 	}
+	if c.model != nil {
+		_, rev := contract.(RevertibleContract)
+		c.revertible[id] = rev
+	}
 	c.contracts[id] = contract
 	c.owners[assetID] = ByEscrow(id)
 	n := c.appendLocked(NoteContractPublished, id, sender, contract.StorageSize(),
 		fmt.Sprintf("escrow %s", assetID), contract)
+	if f, fated := c.drawFateLocked(id); fated {
+		n.Provisional = c.trackLocked(NoteContractPublished, id, undoEntry{
+			contract:  contract,
+			asset:     assetID,
+			prevOwner: ByParty(sender),
+			sender:    sender,
+		}, f)
+	}
 	c.mu.Unlock()
+	c.flushDue()
 	c.emit(n)
 	return nil
 }
@@ -466,6 +553,15 @@ func (c *Chain) Invoke(sender PartyID, id ContractID, method string, args any, a
 		c.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrContractClosed, id)
 	}
+	// A fated invocation and the transfer it causes share one fate (drawn
+	// before the call so the pre-call state can be snapshotted): a revert
+	// can never split a claim from its asset movement.
+	var fate Fate
+	var fated bool
+	var snap any
+	if fate, fated = c.drawFateLocked(id); fated {
+		snap = contract.(RevertibleContract).StateSnapshot()
+	}
 	res, err := contract.Invoke(Call{
 		Method:   method,
 		Sender:   sender,
@@ -474,21 +570,44 @@ func (c *Chain) Invoke(sender PartyID, id ContractID, method string, args any, a
 		ArgsSize: argsSize,
 	})
 	if err != nil {
+		if fated {
+			c.fated[id]-- // nothing recorded: give the fate index back
+		}
 		c.mu.Unlock()
 		return fmt.Errorf("chain %s: %s.%s: %w", c.name, id, method, err)
 	}
 	// Stack-backed buffer: an invocation produces at most two
 	// notifications, so the fanout allocates nothing per call.
 	var notesBuf [2]Notification
-	notes := append(notesBuf[:0], c.appendLocked(NoteInvocation, id, sender, argsSize, method+": "+res.Note, res.Event))
+	ni := c.appendLocked(NoteInvocation, id, sender, argsSize, method+": "+res.Note, res.Event)
+	if fated {
+		ni.Provisional = c.trackLocked(NoteInvocation, id, undoEntry{
+			snapshot: snap,
+			sender:   sender,
+			method:   method,
+			args:     args,
+			argsSize: argsSize,
+		}, fate)
+	}
+	notes := append(notesBuf[:0], ni)
 	if res.Transfer != nil {
 		assetID := contract.AssetID()
+		prevOwner := c.owners[assetID]
 		c.owners[assetID] = *res.Transfer
 		c.closed[id] = true
-		notes = append(notes, c.appendLocked(NoteTransfer, id, sender, 0,
-			fmt.Sprintf("asset %s -> %s", assetID, *res.Transfer), nil))
+		nt := c.appendLocked(NoteTransfer, id, sender, 0,
+			fmt.Sprintf("asset %s -> %s", assetID, *res.Transfer), nil)
+		if fated {
+			nt.Provisional = c.trackLocked(NoteTransfer, id, undoEntry{
+				asset:     assetID,
+				prevOwner: prevOwner,
+				sender:    sender,
+			}, fate)
+		}
+		notes = append(notes, nt)
 	}
 	c.mu.Unlock()
+	c.flushDue()
 	c.emit(notes...)
 	return nil
 }

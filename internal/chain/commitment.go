@@ -1,0 +1,224 @@
+package chain
+
+import (
+	"fmt"
+
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// This file is the pluggable commitment model: how (and when) a chain's
+// applied records become final.
+//
+// Herlihy's model treats every chain as an ideal serializer — a record
+// is final the instant it is appended, and one global Δ bounds
+// publish-plus-confirm everywhere. Real chains confirm probabilistically
+// (a record is trustworthy only K blocks deep), reorg (an applied record
+// can be reverted before it is that deep), and have heterogeneous
+// latencies. A CommitmentModel parameterizes all three per chain while
+// keeping the ledger abstraction the protocol layer sees: append-only,
+// hash-chained, tamper-evident. A revert never rewrites history — it
+// appends NoteReverted records and rolls the *state* back, so the hash
+// chain stays intact and the reorg itself is auditable.
+//
+// Determinism contract: fates are drawn from a pure hash of
+// (seed, chain, contract, per-contract record index) — never from
+// execution order. Chain-level record sequence numbers are NOT part of
+// the fate key: under striped-parallel dispatch two swaps sharing a
+// chain may interleave their same-tick appends in either order, and the
+// digest-equality contract (serial vs parallel vs sharded) requires the
+// fate of every record to be independent of that interleaving. For the
+// same reason a revert rolls back a suffix of ONE contract's record
+// stream (transaction-level reorg), not a suffix of the whole chain:
+// which unrelated contract's records sit above the fated one on the
+// shared ledger is an artifact of dispatch interleaving, but the set of
+// records belonging to the fated contract is not.
+
+// Timing is a chain's timing parameters as the protocol layers consume
+// them. The zero value means "inherit the global spec Δ, instant
+// finality" — exactly the ideal chain the paper models.
+type Timing struct {
+	// Delta, when positive, overrides the swap spec's global Δ for
+	// events on this chain: the publish-plus-observe bound the conc
+	// runtime uses to schedule deliveries sourced from this chain.
+	Delta vtime.Duration
+	// ConfirmDepth is how many ticks after application a record becomes
+	// final. 0 is instant finality.
+	ConfirmDepth vtime.Duration
+}
+
+// DeliveryDelay converts a base Δ into the modeled notification delay
+// for events sourced from a chain with this timing: the chain's own Δ
+// when it has one (else base), minus the conforming party's reaction
+// margin. The margin rule reproduces, exactly, the historical conc
+// heuristic (delta - delta/4, clamped to stay ≥ 1 under tiny Δ) so the
+// Instant model is delivery-schedule-identical to the pre-model code —
+// the regression test in conc pins that equivalence.
+func (t Timing) DeliveryDelay(base vtime.Duration) vtime.Duration {
+	delta := base
+	if t.Delta > 0 {
+		delta = t.Delta
+	}
+	if margin := delta / 4; margin >= 1 {
+		delta -= margin
+	} else if delta > 1 {
+		delta--
+	}
+	return delta
+}
+
+// EffectiveDelta is the publish-plus-confirm bound for this chain given
+// the global base Δ: the chain's own Δ (else base) plus its
+// confirmation depth. This is the paper's Δ as a per-chain quantity —
+// an event is not "observed" until it is final — and it is what the
+// engine feeds core's timelock ladder per chain.
+func (t Timing) EffectiveDelta(base vtime.Duration) vtime.Duration {
+	delta := base
+	if t.Delta > 0 {
+		delta = t.Delta
+	}
+	return delta + t.ConfirmDepth
+}
+
+// Fate is a record's commitment schedule, drawn once when the record is
+// applied. The zero Fate is instant finality.
+type Fate struct {
+	// FinalAfter is how many ticks after application the record
+	// finalizes (0 = immediately).
+	FinalAfter vtime.Duration
+	// RevertAfter, when positive, schedules a revert that many ticks
+	// after application instead; it must be < FinalAfter. The revert
+	// rolls back the record and every not-yet-final record of the same
+	// contract above it.
+	RevertAfter vtime.Duration
+}
+
+// CommitmentModel decides each record's commitment schedule. Models
+// must be pure: Fate must depend only on its arguments (and the model's
+// own immutable parameters), so replays and different execution shapes
+// draw identical fates.
+type CommitmentModel interface {
+	// Name labels the model in traces and reports.
+	Name() string
+	// Timing reports the chain's timing parameters.
+	Timing() Timing
+	// Fate draws the commitment schedule for the idx-th fated record of
+	// the given contract on the given chain.
+	Fate(chain string, contract ContractID, idx int) Fate
+}
+
+// Instant is the compatibility default: every record is final the
+// moment it is applied — the ideal chain of the paper's model.
+type Instant struct{}
+
+// Name implements CommitmentModel.
+func (Instant) Name() string { return "instant" }
+
+// Timing implements CommitmentModel.
+func (Instant) Timing() Timing { return Timing{} }
+
+// Fate implements CommitmentModel.
+func (Instant) Fate(string, ContractID, int) Fate { return Fate{} }
+
+// Depth finalizes every record K ticks after application — the
+// confirmation-depth policy of a chain that never reorgs but whose
+// records are only trusted K deep.
+type Depth struct {
+	// K is the confirmation depth in ticks.
+	K vtime.Duration
+	// Delta optionally overrides the chain's Δ (0 = inherit).
+	Delta vtime.Duration
+}
+
+// Name implements CommitmentModel.
+func (d Depth) Name() string { return fmt.Sprintf("depth(%d)", d.K) }
+
+// Timing implements CommitmentModel.
+func (d Depth) Timing() Timing { return Timing{Delta: d.Delta, ConfirmDepth: d.K} }
+
+// Fate implements CommitmentModel.
+func (d Depth) Fate(string, ContractID, int) Fate { return Fate{FinalAfter: d.K} }
+
+// Reorg is Depth plus seeded reverts: each record independently reverts
+// with probability Rate at a seeded uniform depth in [1, K-1] ticks
+// after application (a revert always lands before the record would have
+// finalized). K must be at least 2 for any revert to be schedulable.
+// The draw is a pure hash of (Seed, chain, contract, record index), so
+// a Reorg chain replays byte-identical record streams from the same
+// seed — on any scheduler, any shard count.
+type Reorg struct {
+	// K is the confirmation depth in ticks (≥ 2 for reverts to occur).
+	K vtime.Duration
+	// Rate is the per-record revert probability in [0, 1].
+	Rate float64
+	// Seed drives the fate hash.
+	Seed int64
+	// Delta optionally overrides the chain's Δ (0 = inherit).
+	Delta vtime.Duration
+}
+
+// Name implements CommitmentModel.
+func (r Reorg) Name() string { return fmt.Sprintf("reorg(%d,%g)", r.K, r.Rate) }
+
+// Timing implements CommitmentModel.
+func (r Reorg) Timing() Timing { return Timing{Delta: r.Delta, ConfirmDepth: r.K} }
+
+// Fate implements CommitmentModel.
+func (r Reorg) Fate(chain string, contract ContractID, idx int) Fate {
+	f := Fate{FinalAfter: r.K}
+	if r.Rate <= 0 || r.K < 2 {
+		return f
+	}
+	h := fateHash(uint64(r.Seed), chain, contract, idx)
+	// 53 high bits → uniform [0,1): the standard float64 lattice.
+	u := float64(h>>11) / (1 << 53)
+	if u >= r.Rate {
+		return f
+	}
+	// Independent second draw for the revert depth, in [1, K-1].
+	d := fateHash(h, chain, contract, idx)
+	f.RevertAfter = 1 + vtime.Duration(d%uint64(r.K-1))
+	return f
+}
+
+// fateHash is FNV-1a 64 over the fate key. Inline and allocation-free:
+// it runs once per fated record.
+func fateHash(seed uint64, chain string, contract ContractID, idx int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(seed >> (8 * i)))
+	}
+	for i := 0; i < len(chain); i++ {
+		mix(chain[i])
+	}
+	mix(0)
+	for i := 0; i < len(contract); i++ {
+		mix(contract[i])
+	}
+	mix(0)
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(idx) >> (8 * i)))
+	}
+	return h
+}
+
+// RevertibleContract is implemented by contracts whose state the chain
+// can snapshot and restore — the capability a reorg needs to roll an
+// invocation back. A contract that does not implement it is treated as
+// instant-final on every chain (its records can never be caught in a
+// revert), preserving safety for foreign contracts at the cost of
+// realism.
+type RevertibleContract interface {
+	// StateSnapshot returns an opaque copy of the contract's mutable
+	// state, taken before an invocation is applied.
+	StateSnapshot() any
+	// StateRestore restores state captured by StateSnapshot.
+	StateRestore(snap any)
+}

@@ -45,6 +45,20 @@ type Registry struct {
 	// probe, when set, receives observed event→party delivery latencies
 	// from the runtimes sharing this registry (see DeliveryProbe).
 	probe atomic.Value // of DeliveryProbe
+
+	// chainProbeMu guards the per-chain probe table and its factory;
+	// per-chain probes let adaptive Δ see heterogeneous lag instead of
+	// one blended stream.
+	chainProbeMu sync.RWMutex
+	chainProbes  map[string]DeliveryProbe
+	chainProbeFn func(name string) DeliveryProbe
+
+	// modelMu guards the commitment-model factory, the modeled-chain
+	// list the settlement pump drains, and the pump's per-tick dedupe.
+	modelMu sync.Mutex
+	modelFn func(name string) CommitmentModel
+	modeled []*Chain
+	pumpAt  map[vtime.Ticks]struct{}
 }
 
 // DeliveryProbe receives observed notification latencies: how many ticks
@@ -134,6 +148,7 @@ func (r *Registry) Chain(name string) *Chain {
 			c.Subscribe(key, fn)
 		}
 		r.subMu.Unlock()
+		r.applyCreationHooks(c, name)
 		s.chains[name] = c
 	}
 	s.mu.Unlock()

@@ -122,6 +122,26 @@ type Config struct {
 	// deterministic analogue of in-flight backpressure. Must be cheap and
 	// must not call back into the run.
 	OnHorizon func()
+	// OnRevert, when set, observes commitment-model reverts touching this
+	// run's contracts: a chain reorg rolled one of the swap's records
+	// back. The engine logs these to the WAL and counts them. The callback
+	// runs on chain-observer goroutines; it must be cheap and must not
+	// call back into the run.
+	OnRevert func(ev RevertEvent)
+}
+
+// RevertEvent is one reorged record of a run's contract (Config.OnRevert).
+type RevertEvent struct {
+	// ArcID is the swap arc whose contract the reverted record belongs to.
+	ArcID int
+	// Chain is the chain the reorg happened on.
+	Chain string
+	// Contract is the affected contract.
+	Contract chain.ContractID
+	// Kind is the kind of the record that was rolled back.
+	Kind chain.NoteKind
+	// At is the tick the revert was recorded at.
+	At vtime.Ticks
 }
 
 // PhaseEvent is one coarse protocol phase transition (see Config.OnPhase).
@@ -282,6 +302,37 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 	}
 	if spec.Broadcast {
 		r.reg.Chain(core.BroadcastChain)
+	}
+
+	// Cache each involved chain's delivery margin and per-chain probe.
+	// The margin comes from the chain's commitment-model timing; an
+	// Instant chain (zero Timing) reproduces the historical spec.Delta
+	// margin bit-for-bit, so this block changes nothing for ideal chains.
+	r.onRevert = cfg.OnRevert
+	base := vtime.Duration(spec.Delta)
+	r.delays = make(map[string]vtime.Duration, spec.D.NumArcs()+1)
+	chainNames := make([]string, 0, spec.D.NumArcs()+1)
+	for id := 0; id < spec.D.NumArcs(); id++ {
+		chainNames = append(chainNames, spec.Assets[id].Chain)
+	}
+	if spec.Broadcast {
+		chainNames = append(chainNames, core.BroadcastChain)
+	}
+	for _, name := range chainNames {
+		if _, done := r.delays[name]; done {
+			continue
+		}
+		ch := r.reg.Chain(name)
+		r.delays[name] = ch.Timing().DeliveryDelay(base)
+		if ch.CommitmentModelName() != "instant" {
+			r.reorgAware = true
+		}
+		if p := r.reg.ChainDeliveryProbe(name); p != nil {
+			if r.chainProbes == nil {
+				r.chainProbes = make(map[string]chain.DeliveryProbe, len(chainNames))
+			}
+			r.chainProbes[name] = p
+		}
 	}
 
 	horizon := spec.Horizon().Add(vtime.Scale(cfg.ExtraDelta, spec.Delta))
@@ -454,6 +505,25 @@ type runner struct {
 	// keeps a run deaf to other swaps sharing the same chains.
 	cids map[chain.ContractID]int
 
+	// delays caches each involved chain's delivery margin, derived at
+	// Prepare from the chain's commitment-model timing (for an Instant
+	// chain this reproduces the historical single-Δ margin exactly).
+	delays map[string]vtime.Duration
+	// chainProbes caches the registry's per-chain delivery probes for the
+	// involved chains; observations feed them alongside the global probe.
+	chainProbes map[string]chain.DeliveryProbe
+	// reorgAware is set when any involved chain can revert or delay
+	// finality; it gates the re-delivery dedupe below and the
+	// finality-gated resolution path. False keeps the historical
+	// zero-overhead shape.
+	reorgAware bool
+	// seenEvents dedupes behavior deliveries a reorg re-apply would
+	// repeat (OnContract, OnUnlock, OnRedeem, OnSettled). Guarded by mu;
+	// nil unless reorgAware.
+	seenEvents map[string]bool
+	// onRevert is Config.OnRevert.
+	onRevert func(RevertEvent)
+
 	// onPhase reports coarse phase transitions (Config.OnPhase); deadline
 	// is the spec's max timelock, fixed at Prepare. phaseSeen (under mu)
 	// makes each phase fire at most once.
@@ -532,6 +602,25 @@ func (r *runner) stopTimers() {
 	}
 }
 
+// observeLag feeds one delivery's observed lag past its scheduled tick
+// to the global probe and, when the delivery was sourced from a chain
+// event, to that chain's probe — so adaptive Δ can see per-chain lag
+// instead of one blended stream.
+func (r *runner) observeLag(src string, t vtime.Ticks) {
+	lag := r.sched.Now().Sub(t)
+	if lag < 0 {
+		lag = 0
+	}
+	if r.probe != nil {
+		r.probe.Observe(lag)
+	}
+	if src != "" {
+		if p := r.chainProbes[src]; p != nil {
+			p.Observe(lag)
+		}
+	}
+}
+
 // deliverAt schedules fn for execution on p's mailbox at virtual tick t.
 // From fire time until the mailbox runs (or drops) it, the delivery holds
 // the scheduler, so virtual time cannot jump past a deadline while the
@@ -539,6 +628,12 @@ func (r *runner) stopTimers() {
 // abandon gate: refund alarms keep running for abandoned parties, as in
 // the simulator runtime.
 func (r *runner) deliverAt(t vtime.Ticks, p *party, alarm bool, fn func()) {
+	r.deliverFrom(t, p, alarm, "", fn)
+}
+
+// deliverFrom is deliverAt for deliveries sourced from a chain event:
+// src names the chain, so the observed lag also feeds its probe.
+func (r *runner) deliverFrom(t vtime.Ticks, p *party, alarm bool, src string, fn func()) {
 	if r.inline {
 		// Inline mode: the scheduler dispatch IS the party execution — the
 		// dispatcher (or this stripe's worker) already holds the clock for
@@ -551,13 +646,7 @@ func (r *runner) deliverAt(t vtime.Ticks, p *party, alarm bool, fn func()) {
 			if !alarm && p.abandoned {
 				return
 			}
-			if r.probe != nil {
-				if lag := r.sched.Now().Sub(t); lag > 0 {
-					r.probe.Observe(lag)
-				} else {
-					r.probe.Observe(0)
-				}
-			}
+			r.observeLag(src, t)
 			fn()
 		})
 		return
@@ -586,13 +675,7 @@ func (r *runner) deliverAt(t vtime.Ticks, p *party, alarm bool, fn func()) {
 			if !alarm && p.abandoned {
 				return
 			}
-			if r.probe != nil {
-				if lag := r.sched.Now().Sub(t); lag > 0 {
-					r.probe.Observe(lag)
-				} else {
-					r.probe.Observe(0)
-				}
-			}
+			r.observeLag(src, t)
 			fn()
 		}
 		select {
@@ -650,6 +733,37 @@ func (r *runner) getResolved(arcID int) (bool, bool) {
 	return r.resolved[arcID], r.resClaim[arcID]
 }
 
+// deliveryDelay returns the cached delivery margin for events sourced
+// from the named chain. The fallback (an uncached chain, only possible
+// for notes outside the swap's asset set) is the Instant formula on the
+// spec's base Δ — exactly the historical value.
+func (r *runner) deliveryDelay(name string) vtime.Duration {
+	if d, ok := r.delays[name]; ok {
+		return d
+	}
+	return chain.Timing{}.DeliveryDelay(vtime.Duration(r.spec.Delta))
+}
+
+// dupEvent records a behavior-delivery key and reports whether it was
+// already delivered. Always false (and allocation-free) when no involved
+// chain can reorg: re-deliveries only exist when a revert re-applies
+// records, so ideal-chain runs never pay for the map.
+func (r *runner) dupEvent(key string) bool {
+	if !r.reorgAware {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seenEvents == nil {
+		r.seenEvents = make(map[string]bool)
+	}
+	if r.seenEvents[key] {
+		return true
+	}
+	r.seenEvents[key] = true
+	return false
+}
+
 // onNote fans chain notifications out to the incident parties within Δ,
 // mirroring core.Runner.onNote. Unlike the simulator — which realizes the
 // worst case exactly and leans on inclusive deadlines — real scheduling
@@ -658,20 +772,23 @@ func (r *runner) getResolved(arcID int) (bool, bool) {
 // allows): the protocol's deadline margins then scale with Δ instead of
 // being a fixed tick count, which is what lets a loaded box widen Δ to
 // buy robustness — and, with the delivery probe watching actual lag, lets
-// the engine shrink Δ back when the hardware is keeping up.
+// the engine shrink Δ back when the hardware is keeping up. The margin is
+// per-chain: each chain's commitment-model timing decides it, and an
+// Instant chain reproduces the historical spec.Delta margin exactly.
+//
+// On chains with delayed finality, parties still act on applied
+// (provisional) events optimistically — that is what keeps the swap
+// moving at chain speed — but an arc only RESOLVES when its closing
+// transfer finalizes, and a revert re-applies records through the normal
+// paths (with re-deliveries deduped, since behaviors already acted).
 func (r *runner) onNote(n chain.Notification) {
-	delta := vtime.Duration(r.spec.Delta)
-	if margin := delta / 4; margin >= 1 {
-		delta -= margin
-	} else if delta > 1 {
-		delta--
-	}
+	delta := r.deliveryDelay(n.Chain)
 	deliverIncident := func(arcID int, fn func(core.Behavior, core.Env)) {
 		arc := r.spec.D.Arc(arcID)
 		at := n.At.Add(delta)
 		for _, v := range []digraph.Vertex{arc.Head, arc.Tail} {
 			p := r.parties[v]
-			r.deliverAt(at, p, false, func() { fn(p.behavior, p.env()) })
+			r.deliverFrom(at, p, false, n.Chain, func() { fn(p.behavior, p.env()) })
 		}
 	}
 	switch n.Kind {
@@ -685,6 +802,9 @@ func (r *runner) onNote(n chain.Notification) {
 			return // another swap's contract on a shared chain
 		}
 		r.notePhase("escrow")
+		if r.dupEvent(fmt.Sprintf("c:%d", arcID)) {
+			return // reorg re-publish: parties already saw this contract
+		}
 		deliverIncident(arcID, func(b core.Behavior, e core.Env) { b.OnContract(e, arcID, c) })
 	case chain.NoteInvocation:
 		if _, mine := r.cids[n.Contract]; !mine {
@@ -693,11 +813,17 @@ func (r *runner) onNote(n chain.Notification) {
 		switch ev := n.Event.(type) {
 		case htlc.UnlockedEvent:
 			r.notePhase("reveal")
+			if r.dupEvent(fmt.Sprintf("u:%d:%d", ev.ArcID, ev.LockIndex)) {
+				return
+			}
 			deliverIncident(ev.ArcID, func(b core.Behavior, e core.Env) {
 				b.OnUnlock(e, ev.ArcID, ev.LockIndex, ev.Key)
 			})
 		case htlc.RedeemedEvent:
 			r.notePhase("reveal")
+			if r.dupEvent(fmt.Sprintf("r:%d", ev.ArcID)) {
+				return
+			}
 			deliverIncident(ev.ArcID, func(b core.Behavior, e core.Env) {
 				b.OnRedeem(e, ev.ArcID, ev.Secret)
 			})
@@ -715,8 +841,40 @@ func (r *runner) onNote(n chain.Notification) {
 		counter := r.spec.PartyOf(r.spec.D.Arc(arcID).Tail)
 		owner, _ := ch.OwnerOf(c.AssetID())
 		claimed := owner == chain.ByParty(counter)
-		deliverIncident(arcID, func(b core.Behavior, e core.Env) { b.OnSettled(e, arcID, claimed) })
+		if !r.dupEvent(fmt.Sprintf("s:%d:%t", arcID, claimed)) {
+			deliverIncident(arcID, func(b core.Behavior, e core.Env) { b.OnSettled(e, arcID, claimed) })
+		}
+		if n.Provisional {
+			return // resolution waits for the transfer to finalize
+		}
 		r.setResolved(arcID, claimed)
+	case chain.NoteFinalized:
+		arcID, mine := r.cids[n.Contract]
+		if !mine {
+			return
+		}
+		ch := r.reg.Chain(n.Chain)
+		c, ok := ch.Contract(n.Contract)
+		if !ok {
+			return
+		}
+		counter := r.spec.PartyOf(r.spec.D.Arc(arcID).Tail)
+		owner, _ := ch.OwnerOf(c.AssetID())
+		r.setResolved(arcID, owner == chain.ByParty(counter))
+	case chain.NoteReverted:
+		arcID, mine := r.cids[n.Contract]
+		if !mine {
+			return
+		}
+		if r.onRevert != nil {
+			r.onRevert(RevertEvent{
+				ArcID:    arcID,
+				Chain:    n.Chain,
+				Contract: n.Contract,
+				Kind:     n.Reverted,
+				At:       n.At,
+			})
+		}
 	case chain.NoteData:
 		if n.Chain != core.BroadcastChain {
 			return
@@ -729,7 +887,7 @@ func (r *runner) onNote(n chain.Notification) {
 		at := n.At.Add(delta)
 		for _, p := range r.parties {
 			p := p
-			r.deliverAt(at, p, false, func() { p.behavior.OnBroadcast(p.env(), msg.LockIndex, msg.Key) })
+			r.deliverFrom(at, p, false, n.Chain, func() { p.behavior.OnBroadcast(p.env(), msg.LockIndex, msg.Key) })
 		}
 	}
 }

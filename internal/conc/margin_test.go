@@ -1,0 +1,46 @@
+package conc
+
+import (
+	"testing"
+
+	"github.com/go-atomicswap/atomicswap/internal/chain"
+	"github.com/go-atomicswap/atomicswap/internal/vtime"
+)
+
+// TestInstantMarginMatchesLegacyFormula pins the compatibility contract
+// of the commitment-model refactor: under the Instant model (zero
+// Timing), the per-chain delivery margin must reproduce the historical
+// hardcoded heuristic — delta minus a quarter-Δ margin, clamped so tiny
+// deltas still deliver strictly inside the bound — for every Δ. The
+// engine's byte-identical-digest guarantee rests on this equivalence.
+func TestInstantMarginMatchesLegacyFormula(t *testing.T) {
+	legacy := func(delta vtime.Duration) vtime.Duration {
+		if margin := delta / 4; margin >= 1 {
+			delta -= margin
+		} else if delta > 1 {
+			delta--
+		}
+		return delta
+	}
+	for _, d := range []vtime.Duration{1, 2, 3, 4, 5, 6, 7, 8, 10, 13, 16, 40, 100, 1000} {
+		if got, want := (chain.Timing{}).DeliveryDelay(d), legacy(d); got != want {
+			t.Errorf("Timing{}.DeliveryDelay(%d) = %d, legacy formula = %d", d, got, want)
+		}
+	}
+	// A chain Δ override replaces the base before the margin applies.
+	if got, want := (chain.Timing{Delta: 20}).DeliveryDelay(10), legacy(20); got != want {
+		t.Errorf("Timing{Delta:20}.DeliveryDelay(10) = %d, want %d", got, want)
+	}
+	// Confirmation depth does not stretch delivery: notifications arrive
+	// when a record is applied; only finality (and the timelock ladder,
+	// via EffectiveDelta) waits out the depth.
+	if got, want := (chain.Timing{ConfirmDepth: 6}).DeliveryDelay(10), legacy(10); got != want {
+		t.Errorf("Timing{ConfirmDepth:6}.DeliveryDelay(10) = %d, want %d", got, want)
+	}
+	if got := (chain.Timing{Delta: 8, ConfirmDepth: 6}).EffectiveDelta(10); got != 14 {
+		t.Errorf("EffectiveDelta = %d, want 14 (chain Δ 8 + depth 6)", got)
+	}
+	if got := (chain.Timing{}).EffectiveDelta(10); got != 10 {
+		t.Errorf("zero Timing EffectiveDelta = %d, want base 10", got)
+	}
+}

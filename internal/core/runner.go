@@ -173,7 +173,7 @@ func (r *Runner) Run() (*Result, error) {
 // onNote runs synchronously inside each chain mutation and fans the
 // observation out to the watching parties Δ later.
 func (r *Runner) onNote(n chain.Notification) {
-	delta := vtime.Duration(r.spec.Delta)
+	delta := vtime.Duration(r.spec.DeltaFor(n.Chain))
 	switch n.Kind {
 	case chain.NoteContractPublished:
 		c, ok := n.Event.(chain.Contract)

@@ -83,6 +83,16 @@ type Spec struct {
 	Assets  []ArcAsset // by arc ID
 	Start   vtime.Ticks
 	Delta   vtime.Duration
+	// ChainDeltas overrides Δ per chain: the effective
+	// publish-plus-confirm bound of chains whose commitment model makes
+	// them slower than the base Delta (a chain Δ override, confirmation
+	// depth, or both). The timelock ladder is computed from the largest
+	// involved Δ — the bound must hold on every chain a hashkey's path
+	// crosses, so the ladder takes the conservative max. A nil or empty
+	// map means every chain runs at Delta, which is the historical
+	// single-Δ model bit-for-bit. Only chains that differ from Delta
+	// should carry entries.
+	ChainDeltas map[string]vtime.Duration
 	// DiamBound is the diameter bound all contracts use — exact diam(D)
 	// when computable, an upper bound otherwise. Safety holds for any
 	// consistently used upper bound.
@@ -180,6 +190,11 @@ func (s *Spec) Validate(allowUnsafe bool) error {
 	}
 	if s.Delta <= 0 {
 		return fmt.Errorf("%w: delta %d must be positive", ErrSpecShape, s.Delta)
+	}
+	for name, d := range s.ChainDeltas {
+		if d <= 0 {
+			return fmt.Errorf("%w: chain %s delta %d must be positive", ErrSpecShape, name, d)
+		}
 	}
 	if s.Start < vtime.Ticks(s.Delta) {
 		// Leaders deploy ahead of T; the clearing service must announce a
@@ -321,6 +336,29 @@ func (s *Spec) maxPathTo(v digraph.Vertex, i int) int {
 	return p
 }
 
+// DeltaFor returns the effective Δ for events on the named chain: the
+// per-chain override when one is set, else the base Delta.
+func (s *Spec) DeltaFor(chainName string) vtime.Duration {
+	if d, ok := s.ChainDeltas[chainName]; ok {
+		return d
+	}
+	return s.Delta
+}
+
+// ladderDelta is the Δ the timelock ladder (and every deadline derived
+// from it) is built on: the largest effective Δ of any chain carrying
+// an override, floored at the base Delta. A hashkey's path may cross
+// any chain of the swap, so the per-step bound must be the worst one.
+func (s *Spec) ladderDelta() vtime.Duration {
+	delta := s.Delta
+	for _, d := range s.ChainDeltas {
+		if d > delta {
+			delta = d
+		}
+	}
+	return delta
+}
+
 // Timelocks returns the per-lock absolute deadlines for an arc's Swap
 // contract: Start + (DiamBound + maxpath(tail, leader_i))·Δ. A hashkey for
 // lock i presented on this arc can never be valid after Timelocks[i], so
@@ -344,9 +382,10 @@ func (s *Spec) timelocksShared(arcID int) []vtime.Ticks {
 // computeTimelocks derives one arc's timelock vector from scratch.
 func (s *Spec) computeTimelocks(arcID int) []vtime.Ticks {
 	tail := s.D.Arc(arcID).Tail
+	delta := s.ladderDelta()
 	out := make([]vtime.Ticks, len(s.Leaders))
 	for i := range s.Leaders {
-		out[i] = s.Start.Add(vtime.Scale(s.DiamBound+s.maxPathTo(tail, i), s.Delta))
+		out[i] = s.Start.Add(vtime.Scale(s.DiamBound+s.maxPathTo(tail, i), delta))
 	}
 	return out
 }
@@ -366,12 +405,12 @@ func (s *Spec) HTLCTimeout(arcID int) vtime.Ticks {
 		if ok && dist[tail] >= 0 && dist[tail] <= s.DiamBound {
 			d = dist[tail]
 		}
-		return s.Start.Add(vtime.Scale(s.DiamBound+d+1, s.Delta))
+		return s.Start.Add(vtime.Scale(s.DiamBound+d+1, s.ladderDelta()))
 	default:
 		// Uniform: every arc expires together — the Section 1 mistake. The
 		// value is generous enough for all-conforming runs to finish, so
 		// only the last-moment-reveal attack exposes the flaw.
-		return s.Start.Add(vtime.Scale(2*s.DiamBound+1, s.Delta))
+		return s.Start.Add(vtime.Scale(2*s.DiamBound+1, s.ladderDelta()))
 	}
 }
 
@@ -381,11 +420,11 @@ func (s *Spec) HTLCTimeout(arcID int) vtime.Ticks {
 func (s *Spec) ContractParams(arcID int) htlc.SwapParams {
 	arc := s.D.Arc(arcID)
 	return htlc.SwapParams{
-		ID:        s.ContractID(arcID),
-		ArcID:     arcID,
-		Digraph:   s.D,
-		Leaders:   append([]digraph.Vertex(nil), s.Leaders...),
-		Locks:     append([]hashkey.Lock(nil), s.Locks...),
+		ID:      s.ContractID(arcID),
+		ArcID:   arcID,
+		Digraph: s.D,
+		Leaders: append([]digraph.Vertex(nil), s.Leaders...),
+		Locks:   append([]hashkey.Lock(nil), s.Locks...),
 		// Copied from the precomputed vector, not shared: deviation hooks
 		// may mutate published params, which must never reach the spec.
 		Timelocks: s.Timelocks(arcID),
@@ -395,7 +434,11 @@ func (s *Spec) ContractParams(arcID int) htlc.SwapParams {
 		CounterV:  arc.Tail,
 		Asset:     s.Assets[arcID].Asset,
 		Start:     s.Start,
-		Delta:     s.Delta,
+		// The ladder Δ, not the base: the contract's hashkey-validity
+		// deadline (Start + (DiamBound + pathlen)·Δ) must agree with the
+		// timelock ladder or claims near a deadline would break on a swap
+		// that spans a slow chain.
+		Delta:     s.ladderDelta(),
 		DiamBound: s.DiamBound,
 		Directory: s.Keys,
 		Broadcast: s.Broadcast,
@@ -456,7 +499,7 @@ func (s *Spec) computeMaxTimelock() vtime.Ticks {
 // Horizon returns the tick by which a run is certainly quiescent: the max
 // timelock plus detection and settlement slack.
 func (s *Spec) Horizon() vtime.Ticks {
-	return s.MaxTimelock().Add(vtime.Scale(4, s.Delta))
+	return s.MaxTimelock().Add(vtime.Scale(4, s.ladderDelta()))
 }
 
 // Setup couples the public Spec with the private material a simulation
@@ -484,6 +527,9 @@ type Config struct {
 	Broadcast   bool
 	AllowUnsafe bool
 	DiamBound   int // default: computed from D
+	// ChainDeltas carries per-chain effective-Δ overrides into the spec
+	// (see Spec.ChainDeltas). Leave nil for the single-Δ model.
+	ChainDeltas map[string]vtime.Duration
 	// Keyring, when set, supplies persistent party identities: signers for
 	// known parties are reused (rebound to their vertex) and new parties
 	// get a keypair generated once, in the keyring. When nil every setup
@@ -589,6 +635,12 @@ func NewSetup(d *digraph.Digraph, cfg Config) (*Setup, error) {
 		DiamBound: diamBound,
 		Broadcast: cfg.Broadcast,
 		Cache:     cache,
+	}
+	if len(cfg.ChainDeltas) > 0 {
+		spec.ChainDeltas = make(map[string]vtime.Duration, len(cfg.ChainDeltas))
+		for name, d := range cfg.ChainDeltas {
+			spec.ChainDeltas[name] = d
+		}
 	}
 	if err := spec.Validate(cfg.AllowUnsafe); err != nil {
 		return nil, err

@@ -46,6 +46,9 @@ type Recovery struct {
 	// Resumed and Refunded split the orders in flight at the crash.
 	Resumed  int
 	Refunded int
+	// Reverts is the pre-crash commitment-model reorg revert count
+	// folded from the log (0 on Instant runs).
+	Reverts int
 	// Tick is the virtual tick the engine resumed at.
 	Tick vtime.Ticks
 	// WallMs is the wall-clock cost of the whole recovery.
@@ -111,6 +114,7 @@ func Recover(ecfg engine.Config, opts RecoverOptions) (*engine.Engine, *Recovery
 		Events:   resolved.Events,
 		Resumed:  resumed,
 		Refunded: refunded,
+		Reverts:  resolved.Reverts,
 		Tick:     recTick,
 		WallMs:   float64(time.Since(begin)) / float64(time.Millisecond),
 	}

@@ -46,6 +46,11 @@ type State struct {
 	Swaps map[string]*SwapState `json:"swaps,omitempty"`
 	// Shed is the cumulative pre-intake shed count.
 	Shed int `json:"shed,omitempty"`
+	// Reverts is the cumulative commitment-model reorg revert count — a
+	// commutative counter (order-insensitive by construction), kept so a
+	// recovered run's report still shows how reorg-disturbed the
+	// pre-crash history was.
+	Reverts int `json:"reverts,omitempty"`
 	// MaxTick is the largest event tick folded — the tick recovery
 	// resumes at when no explicit cut is given.
 	MaxTick vtime.Ticks `json:"max_tick"`
@@ -231,6 +236,13 @@ func (s *State) Apply(ev engine.Event) {
 		}
 	case engine.EvShed:
 		s.Shed += ev.Count
+	case engine.EvReverted:
+		// A chain reorg rolled back one of the swap's records. The run
+		// re-settled or refunded on its own (those outcomes have their
+		// own events); only the disturbance count is worth folding, and a
+		// swap that was mid-reorg at the crash resolves exactly like any
+		// other in-flight swap.
+		s.Reverts++
 	case engine.EvKilled:
 		// The kill marker carries the cut tick for whoever reads the log;
 		// the fold itself has nothing to record.

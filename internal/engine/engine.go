@@ -166,6 +166,13 @@ type Config struct {
 	// tests that need the historical clear-everything burst (e.g. "crash
 	// with ≥N swaps mid-air") set it at least as high as the burst.
 	MaxLive int
+	// Commitment selects the chains' commitment model: zero value keeps
+	// every chain Instant (a record is final the tick it lands — the
+	// historical behavior, byte-identical digests). A positive
+	// ConfirmDepth makes records final only after that many ticks, and a
+	// positive ReorgRate on top makes not-yet-final records revert with
+	// that seeded probability. See internal/chain and DESIGN.md §12.
+	Commitment CommitmentConfig
 
 	// The fields below are the shard-runtime injection surface, set by
 	// internal/engine/shard when this engine is one shard (or the
@@ -231,6 +238,40 @@ type Config struct {
 	// shard so EvPrepared can record how many shards a cross-shard swap
 	// spans (a hook, not an import: engine must not depend on shard).
 	ShardOfChain func(chainName string) int
+}
+
+// CommitmentConfig parameterizes the commitment model every asset chain
+// is created with. The zero value is the Instant model (historical
+// behavior). The broadcast side-channel is always Instant regardless —
+// it is the protocol's own gossip medium, not a modeled ledger.
+type CommitmentConfig struct {
+	// ConfirmDepth, when positive, makes records final only this many
+	// ticks after application (chain.Depth), and raises each chain's
+	// effective Δ — and therefore the swap timelock ladder — by the same
+	// amount.
+	ConfirmDepth vtime.Duration
+	// ReorgRate, with ConfirmDepth ≥ 2, independently reverts each
+	// record with this probability at a seeded depth before it finalizes
+	// (chain.Reorg). 0 means no reorgs.
+	ReorgRate float64
+	// Seed drives the reorg fate hash (chains replay identical revert
+	// schedules from the same seed).
+	Seed int64
+}
+
+// Enabled reports whether any non-Instant model is configured.
+func (c CommitmentConfig) Enabled() bool { return c.ConfirmDepth > 0 }
+
+// Model returns the commitment model for the named chain, or nil to
+// leave it Instant.
+func (c CommitmentConfig) Model(name string) chain.CommitmentModel {
+	if !c.Enabled() || name == core.BroadcastChain {
+		return nil
+	}
+	if c.ReorgRate > 0 {
+		return chain.Reorg{K: c.ConfirmDepth, Rate: c.ReorgRate, Seed: c.Seed}
+	}
+	return chain.Depth{K: c.ConfirmDepth}
 }
 
 // Engine errors.
@@ -304,6 +345,13 @@ type Engine struct {
 	// probe collects observed delivery lag from every run over the shared
 	// registry; adaptive Δ is computed from it.
 	probe *sched.LatencyProbe
+	// chainProbes holds per-chain delivery-lag probes (commitment-model
+	// runs only): conc feeds each observation to the global probe AND the
+	// source chain's probe, so adaptive Δ can respect the slowest chain
+	// and the report can break lag down per chain. Keyed by chain name;
+	// guarded by chainProbeMu (chain creation may race intake).
+	chainProbeMu sync.Mutex
+	chainProbes  map[string]*sched.LatencyProbe
 	// delta is the Δ handed to newly cleared swaps — cfg.Delta, or the
 	// adaptive controller's current value.
 	delta atomic.Int64
@@ -551,6 +599,14 @@ func New(cfg Config) *Engine {
 	} else {
 		e.reg = chain.NewRegistry(e.sched)
 		e.reg.SetDeliveryProbe(e.probe)
+		if cfg.Commitment.Enabled() {
+			// The registry is brand new (no chains) and every engine
+			// scheduler can pump settlement ticks, so this cannot fail.
+			if err := e.reg.SetCommitmentModels(cfg.Commitment.Model); err != nil {
+				panic(err)
+			}
+			e.reg.SetChainProbeFactory(e.newChainProbe)
+		}
 	}
 	e.delta.Store(int64(cfg.Delta))
 	if cfg.Store != nil && cfg.Keyring == nil {
@@ -594,6 +650,34 @@ func (e *Engine) CurrentDelta() vtime.Duration { return vtime.Duration(e.delta.L
 // LatencyStats snapshots the delivery-lag probe feeding adaptive Δ.
 func (e *Engine) LatencyStats() sched.LatencySnapshot { return e.probe.Snapshot() }
 
+// newChainProbe builds (and remembers) the delivery-lag probe for one
+// chain. Installed as the registry's chain-probe factory when a
+// commitment model is configured: per-chain lag evidence keeps adaptive
+// Δ honest across heterogeneous chains, and the report breaks delivery
+// lag down by chain.
+func (e *Engine) newChainProbe(name string) chain.DeliveryProbe {
+	p := sched.NewLatencyProbe()
+	e.chainProbeMu.Lock()
+	if e.chainProbes == nil {
+		e.chainProbes = make(map[string]*sched.LatencyProbe)
+	}
+	e.chainProbes[name] = p
+	e.chainProbeMu.Unlock()
+	return p
+}
+
+// ChainLatencyStats snapshots each per-chain delivery probe. Empty
+// unless a commitment model installed per-chain probes.
+func (e *Engine) ChainLatencyStats() map[string]sched.LatencySnapshot {
+	e.chainProbeMu.Lock()
+	defer e.chainProbeMu.Unlock()
+	out := make(map[string]sched.LatencySnapshot, len(e.chainProbes))
+	for name, p := range e.chainProbes {
+		out[name] = p.Snapshot()
+	}
+	return out
+}
+
 // adaptDelta retunes Δ from observed delivery lag. Deliveries aim a
 // quarter-Δ inside the detection bound (see conc), so safety requires the
 // jitter beyond target to stay under Δ/4: Δ must be at least 4× the
@@ -607,7 +691,23 @@ func (e *Engine) adaptDelta() {
 		return
 	}
 	s := e.probe.TakeWindow()
-	target := 4 * (2*s.EstimateTicks() + 1)
+	est := s.EstimateTicks()
+	// Per-chain probes (commitment-model runs): Δ must respect the
+	// slowest chain's evidence, not just the global blend — a fast chain
+	// dominating the sample count would otherwise drag Δ below what the
+	// slow chain needs. The global window gates (above) and is consumed
+	// first, so the trajectory is unchanged when no chain probe exists.
+	e.chainProbeMu.Lock()
+	for _, p := range e.chainProbes {
+		if p.Snapshot().WindowSamples == 0 {
+			continue
+		}
+		if ce := p.TakeWindow().EstimateTicks(); ce > est {
+			est = ce
+		}
+	}
+	e.chainProbeMu.Unlock()
+	target := 4 * (2*est + 1)
 	if target < e.cfg.MinDelta {
 		target = e.cfg.MinDelta
 	}
@@ -1234,10 +1334,32 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 		e.rejectOrders(group, reason)
 	}
 
+	delta := e.CurrentDelta()
+	// Under a commitment model each chain's effective Δ includes its
+	// confirmation depth: the timelock ladder must wait out finality,
+	// not just delivery. Only chains whose effective Δ differs from the
+	// base carry an entry, and the map stays nil under Instant — core's
+	// historical single-Δ arithmetic is untouched byte-for-byte.
+	var chainDeltas map[string]vtime.Duration
+	if e.cfg.Commitment.Enabled() {
+		for _, r := range held {
+			if _, dup := chainDeltas[r.chain]; dup {
+				continue
+			}
+			if eff := e.reg.Chain(r.chain).Timing().EffectiveDelta(delta); eff != delta {
+				if chainDeltas == nil {
+					chainDeltas = make(map[string]vtime.Duration)
+				}
+				chainDeltas[r.chain] = eff
+			}
+		}
+	}
+
 	setup, err := core.Clear(g, core.Config{
-		Kind:  e.cfg.Kind,
-		Tag:   swapID,
-		Delta: e.CurrentDelta(),
+		Kind:        e.cfg.Kind,
+		Tag:         swapID,
+		Delta:       delta,
+		ChainDeltas: chainDeltas,
 		// A splitmix stream seeds per-swap secrets and keys in O(1)
 		// instead of math/rand's O(607) Lehmer state initialization —
 		// a measurable per-swap cost at clearing rates, with the same
@@ -1378,6 +1500,19 @@ func (e *Engine) runConfig(spec *core.Spec, seed int64, stripe uint64) conc.Conf
 			e.cfg.Store.Append(Event{
 				Kind: EvPhase, Tick: ev.At,
 				Swap: tag, Phase: ev.Phase, Deadline: ev.Deadline,
+			})
+		}
+	}
+	if e.cfg.Commitment.Enabled() {
+		// Reorg reverts are counted per chain and (when durable) logged:
+		// recovery can then tell how much of a swap's trajectory was
+		// reorg-disturbed before the crash.
+		tag := spec.Tag
+		cfg.OnRevert = func(ev conc.RevertEvent) {
+			e.agg.AddReverted(ev.Chain)
+			e.logEvent(Event{
+				Kind: EvReverted, Tick: ev.At,
+				Swap: tag, Chain: ev.Chain, Phase: ev.Kind.String(),
 			})
 		}
 	}
@@ -1635,6 +1770,18 @@ func (e *Engine) Stop(ctx context.Context) error {
 // after merging, so it is never summed across shards.
 func (e *Engine) Report() metrics.Throughput {
 	e.agg.SetSigns(e.keyring.Signs())
+	if e.cfg.Commitment.Enabled() {
+		// Surface each probed chain's effective Δ (chain Δ + confirmation
+		// depth) so heterogeneous-finality runs show their real ladder.
+		base := e.CurrentDelta()
+		deltas := make(map[string]int)
+		for _, name := range e.reg.ModeledChains() {
+			deltas[name] = int(e.reg.Chain(name).Timing().EffectiveDelta(base))
+		}
+		if len(deltas) > 0 {
+			e.agg.SetChainDeltas(deltas)
+		}
+	}
 	return e.agg.Snapshot()
 }
 

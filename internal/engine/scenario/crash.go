@@ -115,6 +115,7 @@ func runCrash(sc Scenario, process loadgen.Process) (*Result, error) {
 		Replayed: rec.Events,
 		Resumed:  rec.Resumed,
 		Refunded: rec.Refunded,
+		Reverts:  rec.Reverts,
 	})
 	return res, nil
 }

@@ -36,6 +36,11 @@ type Digest struct {
 	Outcomes        map[string]int `json:"outcomes"`
 	OrdersSabotaged int            `json:"orders_sabotaged"`
 	Deviations      map[string]int `json:"deviations,omitempty"`
+	// Reverts counts commitment-model reorg reverts observed by swap
+	// runs — a pure function of the seed like everything else here.
+	// Absent (0) on Instant runs, so pre-commitment-model digests are
+	// byte-identical.
+	Reverts int `json:"reverts,omitempty"`
 
 	// ClearRounds counts live clearing rounds (rounds that had work to
 	// look at) across the run — both engine lives on a crash run.
@@ -74,6 +79,9 @@ type CrashDigest struct {
 	Replayed int   `json:"events_replayed"`
 	Resumed  int   `json:"orders_resumed"`
 	Refunded int   `json:"orders_refunded"`
+	// Reverts is the pre-crash reorg revert count folded from the WAL
+	// (absent on Instant runs).
+	Reverts int `json:"reverts,omitempty"`
 }
 
 // DeltaStep is one adaptive-Δ decision, tick-domain fields only.
@@ -130,6 +138,7 @@ func buildDigest(sc Scenario, load loadgen.Stats, rep metrics.Throughput,
 		Outcomes:        rep.Outcomes,
 		OrdersSabotaged: rep.OrdersSabotaged,
 		Deviations:      rep.Deviations,
+		Reverts:         rep.Reverts,
 		ClearRounds:     clearRounds,
 		LastSettleTick:  int64(lastSettleTick(orders)),
 		Crash:           crash,

@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"time"
 
@@ -108,6 +109,17 @@ type Scenario struct {
 
 	// Deviations is the adversarial mix injected into the stream.
 	Deviations []Deviation `json:"deviations,omitempty"`
+
+	// ConfirmDepth, when positive, runs every asset chain under a
+	// confirmation-depth commitment model (engine.CommitmentConfig): a
+	// record is final only ConfirmDepth ticks after it lands, and the
+	// timelock ladder stretches to match. ReorgRate on top reverts each
+	// record with that seeded probability before it finalizes. Both are
+	// part of the scenario's identity. The "reorg@K" pseudo-strategy in
+	// Deviations is sugar for the same knobs: its K is the depth, its
+	// Rate the reorg rate.
+	ConfirmDepth vtime.Duration `json:"confirm_depth,omitempty"`
+	ReorgRate    float64        `json:"reorg_rate,omitempty"`
 
 	// Shards, when positive, runs the scenario sharded: load generation
 	// places rings into per-shard chain pools (shard.Map.Pools) and
@@ -203,6 +215,20 @@ func (sc Scenario) validate() error {
 	}
 	total := 0.0
 	for _, d := range sc.Deviations {
+		if strings.HasPrefix(d.Strategy, "reorg@") {
+			// The reorg pseudo-strategy deviates the CHAIN, not a party:
+			// its rate is per-record, so it stays out of the per-party
+			// probability ladder below.
+			if k, ok := parseReorgStrategy(d.Strategy); !ok || k < 2 {
+				return fmt.Errorf("scenario %q: bad strategy %q (want reorg@K with depth K ≥ 2)",
+					sc.Name, d.Strategy)
+			}
+			if d.Rate < 0 || d.Rate > 1 {
+				return fmt.Errorf("scenario %q: strategy %s rate %v outside [0,1]",
+					sc.Name, d.Strategy, d.Rate)
+			}
+			continue
+		}
 		if _, ok := strategies[d.Strategy]; !ok {
 			return fmt.Errorf("scenario %q: unknown strategy %q (want one of %v)",
 				sc.Name, d.Strategy, Strategies())
@@ -216,12 +242,57 @@ func (sc Scenario) validate() error {
 	if total > 1 {
 		return fmt.Errorf("scenario %q: deviation rates sum to %v > 1", sc.Name, total)
 	}
+	if sc.ReorgRate < 0 || sc.ReorgRate > 1 {
+		return fmt.Errorf("scenario %q: ReorgRate %v outside [0,1]", sc.Name, sc.ReorgRate)
+	}
+	if sc.ReorgRate > 0 && sc.commitment().ConfirmDepth < 2 {
+		return fmt.Errorf("scenario %q: ReorgRate needs ConfirmDepth ≥ 2", sc.Name)
+	}
 	return nil
+}
+
+// parseReorgStrategy recognizes the "reorg@K" pseudo-strategy and
+// extracts its confirmation depth.
+func parseReorgStrategy(name string) (vtime.Duration, bool) {
+	rest, ok := strings.CutPrefix(name, "reorg@")
+	if !ok {
+		return 0, false
+	}
+	k, err := strconv.Atoi(rest)
+	if err != nil || k <= 0 {
+		return 0, false
+	}
+	return vtime.Duration(k), true
+}
+
+// commitment folds the scenario's chain-realism knobs — the explicit
+// ConfirmDepth/ReorgRate fields, overridden by a "reorg@K" deviation
+// entry — into the engine's commitment configuration.
+func (sc Scenario) commitment() engine.CommitmentConfig {
+	cc := engine.CommitmentConfig{
+		ConfirmDepth: sc.ConfirmDepth,
+		ReorgRate:    sc.ReorgRate,
+		Seed:         sc.Seed,
+	}
+	for _, d := range sc.Deviations {
+		if k, ok := parseReorgStrategy(d.Strategy); ok {
+			cc.ConfirmDepth = k
+			cc.ReorgRate = d.Rate
+		}
+	}
+	return cc
 }
 
 // stranding reports whether the mix contains a strategy whose deviants
 // may legitimately leave escrow unclaimed forever.
 func (sc Scenario) strandingMix() bool {
+	// A reorg cascade can push a claim's re-apply past its timelock and
+	// drop it — the mempool loses the transaction for good — stranding
+	// the escrow exactly the way a no-claim deviant does, so reorg runs
+	// are audited for ledger integrity rather than strict conservation.
+	if sc.commitment().ReorgRate > 0 {
+		return true
+	}
 	for _, d := range sc.Deviations {
 		if d.Rate > 0 && stranding[d.Strategy] {
 			return true
@@ -236,10 +307,17 @@ func (sc Scenario) strandingMix() bool {
 // the engine call it on the clearing path and still replay
 // byte-identically.
 func (sc Scenario) factory() engine.BehaviorFactory {
-	if len(sc.Deviations) == 0 {
+	devs := make([]Deviation, 0, len(sc.Deviations))
+	for _, d := range sc.Deviations {
+		if _, ok := parseReorgStrategy(d.Strategy); ok {
+			// Chain-level, not party-level: handled by commitment().
+			continue
+		}
+		devs = append(devs, d)
+	}
+	if len(devs) == 0 {
 		return nil
 	}
-	devs := append([]Deviation(nil), sc.Deviations...)
 	return func(setup *core.Setup, seed int64) engine.SwapBehaviors {
 		rng := rand.New(rand.NewSource(seed ^ 0x5ce9a610))
 		spec := setup.Spec
@@ -281,6 +359,7 @@ func (sc Scenario) engineConfig() engine.Config {
 		Deterministic: true,
 		Parallel:      sc.Parallel,
 		Behaviors:     sc.factory(),
+		Commitment:    sc.commitment(),
 		// Deterministic mode forgoes clear-ahead backpressure, so the job
 		// queue must hold every swap the book can produce.
 		QueueDepth: sc.Offers + 64,

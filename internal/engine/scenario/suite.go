@@ -145,6 +145,42 @@ func Suite(seedOffset int64) []Scenario {
 			MaxClearRounds: 100, // measured 65
 			MaxSettleTick:  95,  // measured 61
 		},
+		{
+			// Chain realism: every chain needs 4 ticks of confirmation
+			// depth and reverts ~15% of not-yet-final records at seeded
+			// depths. Swaps settle, get reorged out, and re-settle (or
+			// refund when the replay loses the race) — all conserving
+			// assets, all byte-identical on replay, serial or sharded.
+			Name:    "reorg-depth",
+			Seed:    909 + seedOffset,
+			Offers:  48,
+			Rate:    2000,
+			Profile: "poisson",
+			Deviations: []Deviation{
+				{Strategy: "reorg@4", Rate: 0.15},
+			},
+			MaxClearRounds: 140, // measured 93
+			MaxSettleTick:  140, // measured 93
+		},
+		{
+			// Chain realism under sharded clearing: the reorg-depth knobs
+			// on the sharded-local placement — every ring inside one
+			// shard's chain pool, every chain behind a 4-tick confirmation
+			// depth with seeded reverts. Fates are drawn from canonical
+			// identities, so the digest must be byte-identical whether
+			// executed on 4 shards or folded onto 1 (the CI baseline diff).
+			Name:    "reorg-sharded",
+			Seed:    1010 + seedOffset,
+			Offers:  48,
+			Rate:    2000,
+			Profile: "poisson",
+			Shards:  4,
+			Deviations: []Deviation{
+				{Strategy: "reorg@4", Rate: 0.15},
+			},
+			MaxClearRounds: 140, // measured 94
+			MaxSettleTick:  140, // measured 94
+		},
 	}
 }
 

@@ -194,6 +194,18 @@ func build(cfg Config, rst *engine.RecoveredState) (*ShardedEngine, error) {
 	}
 
 	s.reg = chain.NewRegistry(s.sch)
+	if base.Commitment.Enabled() {
+		// One commitment model set for the whole deployment, installed on
+		// the SHARED registry before any chain exists: every shard's view
+		// of a chain's finality (and its fate stream) is the same object,
+		// which is what makes serial and sharded digests agree.
+		if err := s.reg.SetCommitmentModels(base.Commitment.Model); err != nil {
+			return nil, err
+		}
+		s.reg.SetChainProbeFactory(func(string) chain.DeliveryProbe {
+			return sched.NewLatencyProbe()
+		})
+	}
 	s.keyring = core.NewKeyring(rand.New(rand.NewSource(base.Seed + 2)))
 	s.vcache = hashkey.NewVerifyCache(0)
 	if !base.DisableBatchVerify {
@@ -606,6 +618,16 @@ func (s *ShardedEngine) Report() metrics.Throughput {
 		e.MergeMetricsInto(agg)
 	}
 	agg.SetSigns(s.keyring.Signs())
+	if s.cfg.Engine.Commitment.Enabled() {
+		base := s.coord.CurrentDelta()
+		deltas := make(map[string]int)
+		for _, name := range s.reg.ModeledChains() {
+			deltas[name] = int(s.reg.Chain(name).Timing().EffectiveDelta(base))
+		}
+		if len(deltas) > 0 {
+			agg.SetChainDeltas(deltas)
+		}
+	}
 	return agg.Snapshot()
 }
 

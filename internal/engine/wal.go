@@ -51,6 +51,12 @@ const (
 	// EvKilled: the engine was killed (crash-model shutdown); Tick is the
 	// cut — recovery replays nothing stamped after it.
 	EvKilled EventKind = "killed"
+	// EvReverted: a chain reorg rolled back one of the swap's records
+	// before it reached confirmation depth; Swap, Chain, Phase (the
+	// reverted record's kind name). The protocol run re-settles or
+	// refunds on its own — the event exists so recovery can count how
+	// much of a swap's trajectory was reorg-disturbed.
+	EvReverted EventKind = "reverted"
 )
 
 // Event is one durable engine state transition. Exactly the fields the

@@ -107,8 +107,11 @@ type Swap struct {
 	keys       []hashkey.Hashkey // the hashkey that opened each lock
 }
 
-// Compile-time interface check.
-var _ chain.Contract = (*Swap)(nil)
+// Compile-time interface checks.
+var (
+	_ chain.Contract           = (*Swap)(nil)
+	_ chain.RevertibleContract = (*Swap)(nil)
+)
 
 // NewSwap validates params and constructs the contract.
 func NewSwap(p SwapParams) (*Swap, error) {
@@ -170,6 +173,34 @@ func (s *Swap) Params() SwapParams {
 
 // ArcID returns the swap-digraph arc this contract settles.
 func (s *Swap) ArcID() int { return s.p.ArcID }
+
+// swapSnapshot is a Swap's mutable state — exactly the per-lock unlock
+// columns; everything in SwapParams is immutable after construction.
+type swapSnapshot struct {
+	unlocked   []bool
+	unlockedAt []vtime.Ticks
+	keys       []hashkey.Hashkey
+}
+
+// StateSnapshot implements chain.RevertibleContract: the hosting chain
+// captures the unlock columns before applying an invocation, so a
+// commitment-model reorg can roll the invocation back. Called under the
+// chain lock, like Invoke.
+func (s *Swap) StateSnapshot() any {
+	return swapSnapshot{
+		unlocked:   append([]bool(nil), s.unlocked...),
+		unlockedAt: append([]vtime.Ticks(nil), s.unlockedAt...),
+		keys:       append([]hashkey.Hashkey(nil), s.keys...),
+	}
+}
+
+// StateRestore implements chain.RevertibleContract.
+func (s *Swap) StateRestore(snap any) {
+	ss := snap.(swapSnapshot)
+	s.unlocked = append([]bool(nil), ss.unlocked...)
+	s.unlockedAt = append([]vtime.Ticks(nil), ss.unlockedAt...)
+	s.keys = append([]hashkey.Hashkey(nil), ss.keys...)
+}
 
 // Unlocked returns a copy of the per-lock unlocked flags.
 func (s *Swap) Unlocked() []bool {

@@ -45,6 +45,13 @@ type Aggregate struct {
 
 	reservationConflicts int
 
+	// reverts counts commitment-model reorg reverts by chain name (empty
+	// on Instant runs — the field costs nothing unless reorgs happen).
+	reverts map[string]int
+	// chainDeltas is the per-chain effective Δ (ticks) under a
+	// commitment model, set at report time by the engine.
+	chainDeltas map[string]int
+
 	// signs is the total ed25519 signature count, set from the keyring
 	// meter at snapshot time (not accumulated here).
 	signs uint64
@@ -120,6 +127,25 @@ func (a *Aggregate) AddSabotaged(n int) {
 func (a *Aggregate) AddDeviation(strategy string) {
 	a.mu.Lock()
 	a.deviations[strategy]++
+	a.mu.Unlock()
+}
+
+// AddReverted records one commitment-model reorg revert observed by a
+// swap run on the named chain.
+func (a *Aggregate) AddReverted(chain string) {
+	a.mu.Lock()
+	if a.reverts == nil {
+		a.reverts = make(map[string]int)
+	}
+	a.reverts[chain]++
+	a.mu.Unlock()
+}
+
+// SetChainDeltas records the per-chain effective Δ (ticks) for the
+// report; called at snapshot time by engines running a commitment model.
+func (a *Aggregate) SetChainDeltas(deltas map[string]int) {
+	a.mu.Lock()
+	a.chainDeltas = deltas
 	a.mu.Unlock()
 }
 
@@ -277,6 +303,18 @@ func (a *Aggregate) Merge(other *Aggregate) {
 		a.recovery = &cp
 	}
 	a.deltaTraj = append(a.deltaTraj, other.deltaTraj...)
+	for k, v := range other.reverts {
+		if a.reverts == nil {
+			a.reverts = make(map[string]int)
+		}
+		a.reverts[k] += v
+	}
+	for k, v := range other.chainDeltas {
+		if a.chainDeltas == nil {
+			a.chainDeltas = make(map[string]int)
+		}
+		a.chainDeltas[k] = v
+	}
 }
 
 // RestoredCounts carries the counters a recovered engine inherits from
@@ -418,6 +456,14 @@ type Throughput struct {
 	SignsPerSwap float64 `json:"signs_per_swap,omitempty"`
 	// Recovery is present only on engines rebuilt from a durable store.
 	Recovery *RecoveryStats `json:"recovery,omitempty"`
+	// Reverts totals commitment-model reorg reverts observed by swap
+	// runs; RevertsByChain breaks them down per chain. Absent on Instant
+	// runs.
+	Reverts        int            `json:"reverts,omitempty"`
+	RevertsByChain map[string]int `json:"reverts_by_chain,omitempty"`
+	// ChainDeltas is the per-chain effective Δ in ticks (chain Δ plus
+	// confirmation depth) under a commitment model. Absent otherwise.
+	ChainDeltas map[string]int `json:"chain_deltas,omitempty"`
 }
 
 // Snapshot captures the aggregate now.
@@ -476,6 +522,19 @@ func (a *Aggregate) Snapshot() Throughput {
 	if len(a.deltaTraj) > 0 {
 		t.DeltaTrajectory = append([]DeltaPoint(nil), a.deltaTraj...)
 	}
+	if len(a.reverts) > 0 {
+		t.RevertsByChain = make(map[string]int, len(a.reverts))
+		for k, v := range a.reverts {
+			t.RevertsByChain[k] = v
+			t.Reverts += v
+		}
+	}
+	if len(a.chainDeltas) > 0 {
+		t.ChainDeltas = make(map[string]int, len(a.chainDeltas))
+		for k, v := range a.chainDeltas {
+			t.ChainDeltas[k] = v
+		}
+	}
 	return t
 }
 
@@ -504,6 +563,18 @@ func (t Throughput) String() string {
 	if r := t.Recovery; r != nil {
 		fmt.Fprintf(&b, "recovery: %d events replayed, %d orders resumed, %d refunded, %.1fms wall\n",
 			r.Replayed, r.Resumed, r.Refunded, r.WallMs)
+	}
+	if t.Reverts > 0 {
+		keys := make([]string, 0, len(t.RevertsByChain))
+		for k := range t.RevertsByChain {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%d", k, t.RevertsByChain[k])
+		}
+		fmt.Fprintf(&b, "reorgs: %d records reverted (%s)\n", t.Reverts, strings.Join(parts, " "))
 	}
 	if n := len(t.DeltaTrajectory); n > 0 {
 		last := t.DeltaTrajectory[n-1]
