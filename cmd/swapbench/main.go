@@ -630,6 +630,76 @@ func shardSweep(repeat, rings int) error {
 	return nil
 }
 
+// econSweep is the BENCH_07 measurement: the griefing-cost surface
+// across coalition size × formation rate, for both in-swap coalition
+// strategies, over 5-party rings (so every size up to 4 leaves at least
+// one conforming victim). Each point is a deterministic scenario run —
+// the numbers are tick-domain integrals, replayable byte-for-byte from
+// the seed — reporting what the coalition cost conforming parties
+// (griefing cost), what it staked itself (deviant lock), and the ratio
+// (griefing factor: token-ticks of honest lockup per token-tick of
+// adversarial stake). The leading rate-0 baseline pins the empty
+// coalition at exactly zero griefing cost.
+func econSweep() error {
+	run := func(strategy string, size int, rate float64) error {
+		sc := scenario.Scenario{
+			Name:    fmt.Sprintf("econ-sweep-%s-k%d-r%d", strategy, size, int(100*rate)),
+			Seed:    1414,
+			Offers:  60,
+			Rate:    2000,
+			Profile: "poisson",
+			RingMin: 5,
+			RingMax: 5,
+		}
+		if rate > 0 {
+			sc.Coalitions = []scenario.Coalition{{Strategy: strategy, Rate: rate, Size: size}}
+		}
+		res, err := scenario.Run(sc)
+		if err != nil {
+			return fmt.Errorf("econ sweep %s k=%d rate %.2f: %w", strategy, size, rate, err)
+		}
+		d := res.Digest
+		var cost, dlock, clock, gain uint64
+		var griefed int
+		var factor float64
+		var margin int64
+		if e := d.Economics; e != nil {
+			cost, dlock, clock = e.GriefingCostTokenTicks, e.DeviantLockTokenTicks, e.ConformingLockTokenTicks
+			griefed, factor = e.GriefedSwaps, e.GriefingFactor
+			margin, gain = e.BriberySafetyMargin, e.BestCoalitionGain
+		}
+		fmt.Printf("{\"bench\":\"engine_econ\",\"strategy\":%q,\"size\":%d,\"rate\":%.2f,"+
+			"\"griefing_cost_token_ticks\":%d,\"griefed_swaps\":%d,\"griefing_factor\":%.4f,"+
+			"\"conforming_lock_token_ticks\":%d,\"deviant_lock_token_ticks\":%d,"+
+			"\"bribery_safety_margin\":%d,\"best_coalition_gain\":%d,"+
+			"\"swaps_finished\":%d,\"last_settle_tick\":%d,\"conservation\":%q,\"hash\":%q}\n",
+			strategy, size, rate, cost, griefed, factor, clock, dlock, margin, gain,
+			d.SwapsFinished, d.LastSettleTick, d.Conservation, d.Hash())
+		if rate == 0 && cost != 0 {
+			return fmt.Errorf("econ sweep baseline: empty coalition reported griefing cost %d", cost)
+		}
+		if n := len(res.Violations); n > 0 {
+			return fmt.Errorf("econ sweep %s k=%d rate %.2f: %d safety violations (first: %s)",
+				strategy, size, rate, n, res.Violations[0].Detail)
+		}
+		return nil
+	}
+	// Empty-coalition baseline: all the capital, none of the griefing.
+	if err := run("none", 0, 0); err != nil {
+		return err
+	}
+	for _, strategy := range []string{"punishment", "cartel"} {
+		for _, size := range []int{2, 3, 4} {
+			for _, rate := range []float64{0.25, 0.5, 1.0} {
+				if err := run(strategy, size, rate); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 func benchJSON() error {
 	for _, hops := range []int{0, 4, 12} {
 		if err := hashkeyMicro(hops); err != nil {
@@ -667,7 +737,16 @@ func main() {
 	shardJSON := flag.Bool("shard-json", false, "emit the BENCH_05 sharded sweep (1/2/4/8 shards × cross-shard ratio 0/10/50%, striped-parallel dispatch) as JSON and exit")
 	shardRepeat := flag.Int("shard-repeat", 3, "runs per -shard-json point (best-of)")
 	shardRings := flag.Int("shard-rings", 192, "total rings at every -shard-json point (fixed across shard counts: strong scaling)")
+	econJSON := flag.Bool("econ-json", false, "emit the BENCH_07 griefing-cost surface (coalition strategy × size × rate, plus the empty-coalition baseline) as JSON and exit")
 	flag.Parse()
+
+	if *econJSON {
+		if err := econSweep(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *shardJSON {
 		if err := shardSweep(*shardRepeat, *shardRings); err != nil {

@@ -83,7 +83,8 @@ type clearingEngine interface {
 // reports, mirroring the closed-loop tail of main.
 func runOpenLoop(eng clearingEngine, rate float64, profile string,
 	offers, ringMin, ringMax, partyPool, maxPending, shards int,
-	crossRatio float64, seed int64, timeout time.Duration, jsonOut bool) {
+	crossRatio float64, seed int64, timeout time.Duration, jsonOut bool,
+	fairShed bool, floodFactor, floodParties int) {
 	proc, err := loadgen.ParseProfile(profile)
 	if err != nil {
 		log.Fatal(err)
@@ -91,16 +92,19 @@ func runOpenLoop(eng clearingEngine, rate float64, profile string,
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	rep, err := loadgen.Drive(ctx, eng, loadgen.Config{
-		Offers:     offers,
-		RingMin:    ringMin,
-		RingMax:    ringMax,
-		Rate:       rate,
-		Process:    proc,
-		PartyPool:  partyPool,
-		MaxPending: maxPending,
-		Seed:       seed,
-		Shards:     shards,
-		CrossRatio: crossRatio,
+		Offers:       offers,
+		RingMin:      ringMin,
+		RingMax:      ringMax,
+		Rate:         rate,
+		Process:      proc,
+		PartyPool:    partyPool,
+		MaxPending:   maxPending,
+		Seed:         seed,
+		Shards:       shards,
+		CrossRatio:   crossRatio,
+		FairShed:     fairShed,
+		FloodFactor:  floodFactor,
+		FloodParties: floodParties,
 	})
 	if err != nil {
 		log.Fatalf("open-loop run: %v", err)
@@ -196,6 +200,9 @@ func main() {
 		profile     = flag.String("profile", "poisson", "arrival process for -arrival-rate: constant, poisson, burst[:n], ramp[:from:to]")
 		partyPool   = flag.Int("party-pool", 0, "open-loop: reuse this many ring-group identities (0 = fresh parties per ring)")
 		maxPending  = flag.Int("max-pending", 0, "open-loop shed threshold on the pending book (0 = default, negative = never shed)")
+		fairShed    = flag.Bool("fair-shed", false, "open-loop: per-party fair shedding — at the -max-pending threshold only parties at or past their share of the book shed (a flooding coalition starves itself, not its victims)")
+		floodFactor = flag.Int("flood-factor", 0, "open-loop: ride this many coalition flood rings (from a small reused identity pool) on every organic ring")
+		floodParty  = flag.Int("flood-parties", 0, "with -flood-factor: flooder identity-pool size in ring groups (0 = 2)")
 
 		shards     = flag.Int("shards", 0, "partition clearing across N asset-sharded engines plus a cross-shard coordinator (0 = single engine)")
 		crossRatio = flag.Float64("cross-ratio", 0, "with -shards and -arrival-rate: fraction of generated rings that span two shards (cross-shard escalation load)")
@@ -212,6 +219,9 @@ func main() {
 	}
 	if *arrivalRate > 0 && *conflicts > 0 {
 		log.Fatal("-conflicts is a closed-loop feature; drop it or -arrival-rate")
+	}
+	if (*fairShed || *floodFactor > 0 || *floodParty > 0) && *arrivalRate <= 0 {
+		log.Fatal("-fair-shed, -flood-factor, and -flood-parties are open-loop features; add -arrival-rate")
 	}
 	if *reorgRate < 0 || *reorgRate > 1 {
 		log.Fatal("-reorg-rate must be in [0, 1]")
@@ -262,7 +272,8 @@ func main() {
 
 	if *arrivalRate > 0 {
 		runOpenLoop(eng, *arrivalRate, *profile, *offers, *ringMin, *ringMax,
-			*partyPool, *maxPending, *shards, *crossRatio, *seed, *timeout, *jsonOut)
+			*partyPool, *maxPending, *shards, *crossRatio, *seed, *timeout, *jsonOut,
+			*fairShed, *floodFactor, *floodParty)
 		return
 	}
 

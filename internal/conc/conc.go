@@ -156,12 +156,33 @@ type PhaseEvent struct {
 	Deadline vtime.Ticks
 }
 
+// EscrowSpan is one arc's capital-lock interval: the escrowed amount is
+// unavailable to its owner from the tick the contract published until
+// the arc resolved (claim or refund recorded final on chain). Spans are
+// the integrand of the griefing-cost measure — amount × (To−From) in
+// token-ticks — and, being tick-domain, are identical across replays of
+// a deterministic run.
+type EscrowSpan struct {
+	// ArcID indexes spec.D / spec.Assets.
+	ArcID int
+	// From is the tick the arc's contract published (escrow locked).
+	From vtime.Ticks
+	// To is the tick the arc resolved; the run's horizon tick when it
+	// never did (a stranded escrow stays locked to the bitter end).
+	To vtime.Ticks
+	// Resolved distinguishes a settled arc from a stranded one.
+	Resolved bool
+}
+
 // Result reports a finished concurrent run.
 type Result struct {
 	Triggered map[int]bool
 	Report    *outcome.Report
 	Registry  *chain.Registry
 	Log       *trace.Log
+	// Escrows holds one span per arc whose contract actually published
+	// (a withheld deployment locks nothing), ordered by arc ID.
+	Escrows []EscrowSpan
 	// SettleTick is the virtual tick at which the last arc resolved
 	// (claim or refund recorded on chain). For runs where some arc never
 	// resolved — a crashed party abandoning its own contract — it is the
@@ -242,6 +263,8 @@ func Prepare(setup *core.Setup, behaviors map[digraph.Vertex]core.Behavior, cfg 
 		timers:   make(map[int64]sched.Timer),
 		resolved: make(map[int]bool),
 		resClaim: make(map[int]bool),
+		pubTicks: make(map[int]vtime.Ticks),
+		resTicks: make(map[int]vtime.Ticks),
 		done:     make(chan struct{}),
 		cids:     make(map[chain.ContractID]int, spec.D.NumArcs()),
 		onPhase:  cfg.OnPhase,
@@ -547,6 +570,12 @@ type runner struct {
 	mu       sync.Mutex
 	resolved map[int]bool
 	resClaim map[int]bool
+	// pubTicks and resTicks bound each arc's escrow span: first publish
+	// tick and first resolution tick (first-write wins — a reorg
+	// re-publish does not restart the lock interval the owner already
+	// paid for).
+	pubTicks map[int]vtime.Ticks
+	resTicks map[int]vtime.Ticks
 	// lastResolve is the tick of the most recent arc resolution.
 	lastResolve vtime.Ticks
 	done        chan struct{}
@@ -694,11 +723,24 @@ func (r *runner) deliverFrom(t vtime.Ticks, p *party, alarm bool, src string, fn
 	})
 }
 
+// notePublished records an arc's first contract-publication tick — the
+// open of its escrow span. Safe from any goroutine.
+func (r *runner) notePublished(arcID int, at vtime.Ticks) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.pubTicks[arcID]; !ok {
+		r.pubTicks[arcID] = at
+	}
+}
+
 func (r *runner) setResolved(arcID int, claimed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.resolved[arcID] = true
 	r.resClaim[arcID] = claimed
+	if _, ok := r.resTicks[arcID]; !ok {
+		r.resTicks[arcID] = r.sched.Now()
+	}
 	if now := r.sched.Now(); now > r.lastResolve {
 		r.lastResolve = now
 	}
@@ -801,6 +843,7 @@ func (r *runner) onNote(n chain.Notification) {
 		if !mine {
 			return // another swap's contract on a shared chain
 		}
+		r.notePublished(arcID, n.At)
 		r.notePhase("escrow")
 		if r.dupEvent(fmt.Sprintf("c:%d", arcID)) {
 			return // reorg re-publish: parties already saw this contract
@@ -911,6 +954,21 @@ func (r *runner) buildResult() *Result {
 	r.mu.Lock()
 	settleTick := r.lastResolve
 	allResolved := len(r.resolved) == spec.D.NumArcs()
+	escrows := make([]EscrowSpan, 0, len(r.pubTicks))
+	for id := 0; id < spec.D.NumArcs(); id++ {
+		from, ok := r.pubTicks[id]
+		if !ok {
+			continue // never published: nothing was locked
+		}
+		span := EscrowSpan{ArcID: id, From: from, To: r.horizonTick}
+		if to, ok := r.resTicks[id]; ok {
+			span.To, span.Resolved = to, true
+		}
+		if span.To < span.From {
+			span.To = span.From
+		}
+		escrows = append(escrows, span)
+	}
 	r.mu.Unlock()
 	if !allResolved {
 		settleTick = r.horizonTick
@@ -920,6 +978,7 @@ func (r *runner) buildResult() *Result {
 		Report:     outcome.NewReport(spec.D, triggered),
 		Registry:   r.reg,
 		Log:        r.log,
+		Escrows:    escrows,
 		SettleTick: settleTick,
 	}
 }

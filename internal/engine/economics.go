@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"github.com/go-atomicswap/atomicswap/internal/conc"
+	"github.com/go-atomicswap/atomicswap/internal/core"
+	"github.com/go-atomicswap/atomicswap/internal/digraph"
+	"github.com/go-atomicswap/atomicswap/internal/metrics"
+)
+
+// swapEconomics prices one finished run:
+//
+//   - Capital lock: each escrow span (publish tick → resolve-or-horizon
+//     tick, from conc) charges the escrowing party — the arc's Head, who
+//     deployed the contract — amount × duration token-ticks. Locks split
+//     conforming vs deviant by the injected-behavior map; the conforming
+//     side's lock inside a deviant-carrying swap is the swap's griefing
+//     cost.
+//   - Net transfers: a triggered arc's value moved Head → Tail
+//     (triggered means claimable — a lazily unclaimed bearer right is
+//     still the tail's, matching the outcome classes). A conforming
+//     cohort's negative net is a Theorem 4.9 violation in value terms; a
+//     deviant cohort's positive net is what a briber could promise.
+//
+// Everything is tick-domain, so the result is replay-identical and safe
+// to pin in digests. The per-vertex lock map feeds order.lockCost.
+func swapEconomics(spec *core.Spec, res *conc.Result, deviants map[digraph.Vertex]string) (metrics.SwapEconomics, map[digraph.Vertex]uint64) {
+	locks := make(map[digraph.Vertex]uint64, spec.D.NumVertices())
+	for _, span := range res.Escrows {
+		amount := spec.Assets[span.ArcID].Amount
+		locks[spec.D.Arc(span.ArcID).Head] += amount * uint64(span.To-span.From)
+	}
+	nets := make(map[digraph.Vertex]int64, spec.D.NumVertices())
+	for id := 0; id < spec.D.NumArcs(); id++ {
+		if !res.Triggered[id] {
+			continue
+		}
+		arc := spec.D.Arc(id)
+		amount := int64(spec.Assets[id].Amount)
+		nets[arc.Head] -= amount
+		nets[arc.Tail] += amount
+	}
+	se := metrics.SwapEconomics{Deviant: len(deviants) > 0}
+	for v := 0; v < spec.D.NumVertices(); v++ {
+		vx := digraph.Vertex(v)
+		if _, dev := deviants[vx]; dev {
+			se.DeviantLock += locks[vx]
+			if n := nets[vx]; n > 0 {
+				se.CoalitionGain += uint64(n)
+			}
+		} else {
+			se.ConformingLock += locks[vx]
+			if n := nets[vx]; n < 0 {
+				se.ConformingLoss += uint64(-n)
+			}
+		}
+	}
+	return se, locks
+}

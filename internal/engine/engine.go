@@ -394,6 +394,22 @@ type Engine struct {
 	clearWG     sync.WaitGroup
 	clearEvery  vtime.Duration
 
+	// bookSeq counts orders ever booked. The deterministic clearing loop
+	// uses it to close the park race on a STUCK book (non-empty but
+	// nothing dispatchable and nothing live — e.g. partial rings left by
+	// shedding): the usual Pending()>0 re-check cannot tell a new arrival
+	// from the stuck remainder, a sequence number can.
+	bookSeq atomic.Int64
+
+	// shedPulse accumulates arrivals shed since the adaptive-Δ
+	// controller last looked: sustained shedding means intake is
+	// outrunning clearing, and the controller responds by widening Δ
+	// (buying per-swap robustness while the book drains) instead of
+	// tightening into the overload. Incremented from NoteShed (arrival
+	// callbacks), consumed by adaptDelta (clearing tick) — both
+	// schedule-pure in deterministic mode.
+	shedPulse atomic.Int64
+
 	// liveRuns counts virtually-live swap runs: incremented when a swap is
 	// dispatched, decremented by the run's OnHorizon hook — which fires
 	// inside a scheduler event, so under deterministic dispatch the count
@@ -404,10 +420,16 @@ type Engine struct {
 	// quadratic over a big book.
 	liveRuns atomic.Int64
 
-	mu        sync.Mutex
-	state     engineState
-	orders    map[OrderID]*order
-	pending   []*order
+	mu      sync.Mutex
+	state   engineState
+	orders  map[OrderID]*order
+	pending []*order
+	// pendingBy counts the pending book per offering party — the fair-
+	// shedding surface (PendingOf/PendingParties): one flooding identity
+	// pool can no longer exhaust a global MaxPending budget for everyone.
+	// Maintained wherever orders enter or leave StatusPending; entries
+	// are deleted at zero so PendingParties counts live parties only.
+	pendingBy map[chain.PartyID]int
 	nextOrder OrderID
 	nextSwap  uint64
 	inflight  int // cleared jobs queued or executing
@@ -535,6 +557,7 @@ func New(cfg Config) *Engine {
 		tracer:     cfg.Tracer,
 		jobs:       make(chan *job, cfg.QueueDepth),
 		orders:     make(map[OrderID]*order),
+		pendingBy:  make(map[chain.PartyID]int),
 		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
 		drainCh:    make(chan struct{}, 1),
 		clearEvery: cfg.ClearEvery,
@@ -708,6 +731,15 @@ func (e *Engine) adaptDelta() {
 	}
 	e.chainProbeMu.Unlock()
 	target := 4 * (2*est + 1)
+	// Shed feedback: arrivals dropped since the last decision mean intake
+	// is outrunning clearing. Tightening Δ into an overload is the unsafe
+	// direction — deliveries queue behind the backlog — so a shedding
+	// window doubles the lag-derived target (still clamped below). The
+	// pulse is consumed only when the controller acts, so sheds during
+	// under-sampled windows still count toward the next decision.
+	if e.shedPulse.Swap(0) > 0 {
+		target *= 2
+	}
 	if target < e.cfg.MinDelta {
 		target = e.cfg.MinDelta
 	}
@@ -872,6 +904,7 @@ func (e *Engine) TakeEscalatable(cutoff vtime.Ticks) []Routed {
 				SubmittedAt:   o.submittedAt,
 			})
 			delete(e.orders, o.id)
+			e.decPendingLocked(o.offer.Party)
 			continue
 		}
 		kept = append(kept, o)
@@ -941,6 +974,8 @@ func (e *Engine) bookOrder(offer core.Offer, id OrderID, tick vtime.Ticks, wall 
 	}
 	e.orders[o.id] = o
 	e.pending = append(e.pending, o)
+	e.pendingBy[offer.Party]++
+	e.bookSeq.Add(1)
 	e.agg.AddSubmitted(1)
 	e.logEvent(Event{
 		Kind: EvBooked, Tick: o.submittedTick,
@@ -980,7 +1015,42 @@ func (e *Engine) Orders() []OrderSnapshot {
 // engine's own per-outcome accounting.
 func (e *Engine) NoteShed(n int) {
 	e.agg.AddShed(n)
+	e.shedPulse.Add(int64(n))
 	e.logEvent(Event{Kind: EvShed, Tick: e.sched.Now(), Count: n})
+}
+
+// NoteShedFrom is NoteShed with party attribution: the shed arrival's
+// offering party rides along in the WAL event, so a recovered run — and
+// any fairness audit over the log — can tell whose traffic the backstop
+// turned away.
+func (e *Engine) NoteShedFrom(party chain.PartyID, n int) {
+	e.agg.AddShed(n)
+	e.shedPulse.Add(int64(n))
+	e.logEvent(Event{Kind: EvShed, Tick: e.sched.Now(), Count: n, Party: string(party)})
+}
+
+// decPendingLocked balances pendingBy when an order leaves
+// StatusPending. Call with e.mu held.
+func (e *Engine) decPendingLocked(party chain.PartyID) {
+	if n := e.pendingBy[party]; n > 1 {
+		e.pendingBy[party] = n - 1
+	} else {
+		delete(e.pendingBy, party)
+	}
+}
+
+// PendingOf reports how many of the named party's orders are pending.
+func (e *Engine) PendingOf(party chain.PartyID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pendingBy[party]
+}
+
+// PendingParties reports how many distinct parties have pending orders.
+func (e *Engine) PendingParties() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pendingBy)
 }
 
 // scheduleClear arms the next clearing tick on the shared scheduler.
@@ -1134,6 +1204,7 @@ func (e *Engine) clearTick() bool {
 	if e.cfg.AdaptiveDelta && live {
 		e.adaptDelta()
 	}
+	seq := e.bookSeq.Load()
 	dispatched := e.clearRound()
 	e.mu.Lock()
 	stalled := e.state == stateDraining && !dispatched &&
@@ -1150,6 +1221,26 @@ func (e *Engine) clearTick() bool {
 		// Drain can finish.
 		e.rejectPending("unmatched: no counterparties before drain")
 		e.drainStall = 0
+	}
+	if e.cfg.Deterministic && !dispatched && e.liveRuns.Load() == 0 && e.Pending() > 0 {
+		// Stuck book: offers that cannot form a swap (partial rings left
+		// by shedding) with nothing virtually live. Nothing about the next
+		// round can differ until a new order books, so spinning would only
+		// burn wall-dependent rounds into the active-round count — the
+		// digest's determinism hangs on parking here. Submit re-arms;
+		// Drain rejects a book still stuck at drain time. liveRuns (not
+		// inflight) keeps the gate schedule-pure: a run past its horizon
+		// can settle orders but never book one.
+		e.clearMu.Lock()
+		e.clearParked = true
+		e.clearMu.Unlock()
+		// Close the park race with a booking sequence check — an arrival
+		// between the pre-dispatch read and the park saw an armed loop.
+		if e.bookSeq.Load() != seq {
+			e.ensureClearing()
+		}
+		e.notifyDrain()
+		return false
 	}
 	return true
 }
@@ -1405,6 +1496,7 @@ func (e *Engine) clearGroup(g []core.Offer, byParty map[chain.PartyID]*order) bo
 		ord := byParty[o.Party]
 		ord.status = StatusExecuting
 		ord.swap = swapID
+		e.decPendingLocked(ord.offer.Party)
 		j.orders = append(j.orders, ord)
 	}
 	e.compactPendingLocked()
@@ -1574,6 +1666,12 @@ func (e *Engine) runSwap(j *job) {
 		}
 	}
 
+	var econ metrics.SwapEconomics
+	var locks map[digraph.Vertex]uint64
+	if err == nil && res != nil {
+		econ, locks = swapEconomics(spec, res, j.deviants)
+	}
+
 	now := time.Now()
 	e.mu.Lock()
 	for _, o := range j.orders {
@@ -1592,6 +1690,7 @@ func (e *Engine) runSwap(j *job) {
 		if v, ok := spec.VertexOf(o.offer.Party); ok {
 			o.class = res.Report.Of(v)
 			o.deviant = j.deviants[v]
+			o.lockCost = locks[v]
 		}
 		e.logEvent(Event{
 			Kind: EvSettled, Tick: res.SettleTick,
@@ -1620,6 +1719,7 @@ func (e *Engine) runSwap(j *job) {
 	for _, o := range j.orders {
 		e.agg.AddOutcome(o.class.String(), now.Sub(o.submittedAt))
 	}
+	e.agg.AddEconomics(econ)
 	e.agg.SwapFinished(false)
 }
 
@@ -1643,6 +1743,7 @@ func (e *Engine) rejectOrders(batch []*order, reason string) {
 		}
 		o.status = StatusRejected
 		o.reason = reason
+		e.decPendingLocked(o.offer.Party)
 		n++
 		e.logEvent(Event{Kind: EvRejected, Tick: now, Order: o.id, Reason: reason})
 	}
@@ -1727,9 +1828,25 @@ func (e *Engine) Drain(ctx context.Context) error {
 	for {
 		e.mu.Lock()
 		idle := (len(e.pending) == 0 || e.killed) && e.inflight == 0
+		stuck := !idle && len(e.pending) > 0 && e.inflight == 0
 		e.mu.Unlock()
 		if idle {
 			return nil
+		}
+		if stuck && e.liveRuns.Load() == 0 {
+			// A deterministic clearing loop parks on a stuck book (see
+			// clearTick) instead of spinning drainStall up; the remaining
+			// offers have no counterparties coming, so reject them here.
+			// The parked virtual clock is frozen at the schedule's last
+			// event, so the rejection tick — and the digest — stays a pure
+			// function of the seed.
+			e.clearMu.Lock()
+			parked := e.clearParked
+			e.clearMu.Unlock()
+			if parked {
+				e.rejectPending("unmatched: no counterparties before drain")
+				continue
+			}
 		}
 		select {
 		case <-ctx.Done():

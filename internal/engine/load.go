@@ -37,6 +37,24 @@ func LoadOfferOn(ring, i, size, group int, chainName string) core.Offer {
 	}
 }
 
+// FloodPartyPrefix marks offers generated for a flooding coalition: the
+// flooder identity pool's party names start with it, so intake fairness
+// audits — and the scenario digest's shed split — can tell coalition
+// traffic from organic load by name alone.
+const FloodPartyPrefix = "flood"
+
+// FloodOffer builds offer i of flooding ring `ring`: the LoadOffer shape
+// (classic chain set) re-identified onto a small reused flooder pool
+// ("flood<G>-p<I>"), so a handful of identities can hold arbitrarily many
+// pending offers at once — the saturation pattern per-party fair shedding
+// exists to contain.
+func FloodOffer(ring, i, size, group int) core.Offer {
+	o := LoadOffer(ring, i, size, group)
+	o.Party = chain.PartyID(fmt.Sprintf("%s%d-p%d", FloodPartyPrefix, group, i))
+	o.Give[0].To = chain.PartyID(fmt.Sprintf("%s%d-p%d", FloodPartyPrefix, group, (i+1)%size))
+	return o
+}
+
 // LoadOption tweaks RunLoad's generated traffic.
 type LoadOption func(*loadOpts)
 

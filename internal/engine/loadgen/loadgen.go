@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/go-atomicswap/atomicswap/internal/chain"
 	"github.com/go-atomicswap/atomicswap/internal/core"
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/shard"
@@ -26,6 +27,16 @@ type Target interface {
 	NoteShed(n int)
 	Scheduler() sched.Scheduler
 	Tick() time.Duration
+}
+
+// PartyAccounting is the optional per-party intake surface fair shedding
+// needs: both engines implement it, but Target keeps the minimal shape
+// so simpler fakes and future fronts stay valid. When the target lacks
+// it, sheds fall back to the global backstop and unattributed NoteShed.
+type PartyAccounting interface {
+	PendingOf(party chain.PartyID) int
+	PendingParties() int
+	NoteShedFrom(party chain.PartyID, n int)
 }
 
 // DriveTarget extends Target with the lifecycle Drive owns: stop/drain,
@@ -79,6 +90,27 @@ type Config struct {
 	// CrossRatio is the fraction of generated rings that span two
 	// shards' chain pools (ignored unless Shards > 1).
 	CrossRatio float64
+	// FairShed switches the backstop from the global MaxPending rule
+	// (book full → everyone sheds) to per-party fair shedding: when the
+	// book is at MaxPending, an arrival is shed only if its party
+	// already holds at least its fair share — MaxPending divided by the
+	// parties currently in the book — of pending orders. A flooding
+	// identity pool hits its quota and sheds; organic parties holding
+	// little or nothing keep being admitted. A hard backstop at
+	// 4×MaxPending still sheds everything, bounding the book against
+	// sybil floods (fresh-named parties never exceed any quota).
+	// Requires a PartyAccounting target; ignored otherwise.
+	FairShed bool
+	// FloodFactor injects a flooding coalition into the stream: after
+	// each organic ring, this many extra rings are generated from a
+	// small reused pool of flooder identities (engine.FloodOffer).
+	// Organic rings alone satisfy the Offers budget; flood rings ride on
+	// top, so the organic workload is unchanged while total offered
+	// load multiplies by 1+FloodFactor.
+	FloodFactor int
+	// FloodParties is the flooder identity-pool size in ring groups
+	// (default 2; only meaningful with FloodFactor > 0).
+	FloodParties int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -94,7 +126,21 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxPending == 0 {
 		cfg.MaxPending = DefaultMaxPending
 	}
+	if cfg.FloodFactor > 0 && cfg.FloodParties <= 0 {
+		cfg.FloodParties = 2
+	}
 	return cfg
+}
+
+// PartyStats is one party's slice of the intake accounting; the
+// aggregate conservation law Offered == Submitted + Shed + Refused holds
+// per party too (every generated arrival meets exactly one fate, and
+// each fate is attributed to the arrival's offering party).
+type PartyStats struct {
+	Offered   int `json:"offered"`
+	Submitted int `json:"submitted"`
+	Shed      int `json:"shed"`
+	Refused   int `json:"refused"`
 }
 
 // Stats reports what the generator actually did.
@@ -110,6 +156,9 @@ type Stats struct {
 	// FirstTick and LastTick span the arrival schedule in virtual ticks.
 	FirstTick vtime.Ticks `json:"first_tick"`
 	LastTick  vtime.Ticks `json:"last_tick"`
+	// Parties breaks the accounting down by offering party — the ground
+	// truth behind fair-shedding audits (whose traffic was turned away).
+	Parties map[string]PartyStats `json:"parties,omitempty"`
 }
 
 // Run drives one open-loop load into a started engine: every offer is
@@ -130,6 +179,11 @@ func Run(ctx context.Context, e Target, cfg Config) (Stats, error) {
 	offers, ringOf := buildOffers(cfg)
 	ticks := Schedule(cfg.Process, len(offers), cfg.Rate, e.Tick(), cfg.Seed)
 
+	// Party attribution runs whenever the target supports it; the fair
+	// shed POLICY additionally needs the config knob.
+	acct, _ := e.(PartyAccounting)
+	fair := cfg.FairShed && acct != nil
+
 	var (
 		mu sync.Mutex
 		st Stats
@@ -143,9 +197,21 @@ func Run(ctx context.Context, e Target, cfg Config) (Stats, error) {
 		// the threshold crossing; those stragglers are bounded per
 		// overload episode and rejected at drain.)
 		shedRings = make(map[int]bool)
+		// fired marks arrivals whose fate is accounted, so the cancel
+		// path's sweep and a late-firing callback never double-count.
+		fired = make([]bool, len(offers))
 	)
 	st.Offered = len(offers)
 	st.FirstTick, st.LastTick = ticks[0], ticks[len(offers)-1]
+	st.Parties = make(map[string]PartyStats)
+	party := func(o core.Offer, f func(*PartyStats)) {
+		p := st.Parties[string(o.Party)]
+		f(&p)
+		st.Parties[string(o.Party)] = p
+	}
+	for _, o := range offers {
+		party(o, func(p *PartyStats) { p.Offered++ })
+	}
 
 	sc := e.Scheduler()
 	timers := make([]sched.Timer, len(offers))
@@ -156,30 +222,60 @@ func Run(ctx context.Context, e Target, cfg Config) (Stats, error) {
 	// no-op, and past-due timers fire immediately either way).
 	release := sc.Hold()
 	for i := range offers {
-		offer, ring := offers[i], ringOf[i]
+		i, offer, ring := i, offers[i], ringOf[i]
 		timers[i] = sc.At(ticks[i], func() {
 			defer wg.Done()
 			mu.Lock()
+			if fired[i] {
+				mu.Unlock() // the cancel sweep already accounted this arrival
+				return
+			}
+			fired[i] = true
 			shed := shedRings[ring]
 			if !shed && cfg.MaxPending > 0 && e.Pending() >= cfg.MaxPending {
-				shedRings[ring] = true
-				shed = true
+				if fair {
+					// Per-party fair shedding: the book budget apportioned
+					// over the parties currently holding it. A party at or
+					// past its share sheds; one below it (an organic party
+					// facing a flood) is still admitted — up to the hard
+					// 4× backstop that bounds the book absolutely.
+					quota := cfg.MaxPending / acct.PendingParties()
+					if quota < 1 {
+						quota = 1
+					}
+					if acct.PendingOf(offer.Party) >= quota || e.Pending() >= 4*cfg.MaxPending {
+						shedRings[ring] = true
+						shed = true
+					}
+				} else {
+					shedRings[ring] = true
+					shed = true
+				}
 			}
 			if shed {
 				st.Shed++
+				party(offer, func(p *PartyStats) { p.Shed++ })
 				mu.Unlock()
-				e.NoteShed(1) // surface shedding in the engine's own counters
+				// Surface shedding in the engine's own counters, attributed
+				// to the shed party when the target can record it.
+				if acct != nil {
+					acct.NoteShedFrom(offer.Party, 1)
+				} else {
+					e.NoteShed(1)
+				}
 				return
 			}
 			mu.Unlock()
 			if _, err := e.Submit(offer); err != nil {
 				mu.Lock()
 				st.Refused++
+				party(offer, func(p *PartyStats) { p.Refused++ })
 				mu.Unlock()
 				return
 			}
 			mu.Lock()
 			st.Submitted++
+			party(offer, func(p *PartyStats) { p.Submitted++ })
 			mu.Unlock()
 		})
 	}
@@ -191,9 +287,26 @@ func Run(ctx context.Context, e Target, cfg Config) (Stats, error) {
 	case <-done:
 		return st, nil
 	case <-ctx.Done():
-		for _, t := range timers {
+		// Arrivals that will never fire — timers cancelled here, or
+		// dropped by a scheduler closed mid-run — were generated but
+		// never reached the engine; count them as refused, attributed to
+		// their parties, so the books balance (Offered == Submitted +
+		// Shed + Refused, per party as well as in aggregate) even on an
+		// aborted run.
+		refuse := func(i int) {
+			if fired[i] {
+				return
+			}
+			fired[i] = true
+			st.Refused++
+			party(offers[i], func(p *PartyStats) { p.Refused++ })
+		}
+		for i, t := range timers {
 			if t.Stop() {
 				wg.Done()
+				mu.Lock()
+				refuse(i)
+				mu.Unlock()
 			}
 		}
 		// Wait out callbacks already in flight — but only briefly: a
@@ -206,12 +319,8 @@ func Run(ctx context.Context, e Target, cfg Config) (Stats, error) {
 		case <-time.After(5 * time.Second):
 		}
 		mu.Lock()
-		// Arrivals that never fired — timers cancelled above, or dropped
-		// by a scheduler closed mid-run — were generated but never
-		// reached the engine; count them as refused so the books balance
-		// (Offered == Submitted + Shed + Refused) even on an aborted run.
-		if missing := st.Offered - st.Submitted - st.Shed - st.Refused; missing > 0 {
-			st.Refused += missing
+		for i := range offers {
+			refuse(i)
 		}
 		out := st
 		mu.Unlock()
@@ -238,7 +347,13 @@ func buildOffers(cfg Config) (offers []core.Offer, ringOf []int) {
 	if cfg.Shards > 1 {
 		pools = shard.NewMap(cfg.Shards).Pools(4)
 	}
-	for ring := 0; len(offers) < cfg.Offers; ring++ {
+	// ring numbers every emitted ring (organic and flood alike) so
+	// ring-granular shedding stays well-defined; organic tracks only the
+	// organic offer count, which alone satisfies the Offers budget —
+	// flood rings ride on top. With FloodFactor == 0 the two counters
+	// coincide and the stream is byte-identical to the classic generator.
+	ring, floodRing, organic := 0, 0, 0
+	for organic < cfg.Offers {
 		size := cfg.RingMin + rng.Intn(cfg.RingMax-cfg.RingMin+1)
 		group := ring
 		if cfg.PartyPool > 0 {
@@ -260,6 +375,22 @@ func buildOffers(cfg Config) (offers []core.Offer, ringOf []int) {
 				offers = append(offers, engine.LoadOfferOn(ring, i, size, group, pool[(ring+i)%len(pool)]))
 			}
 			ringOf = append(ringOf, ring)
+		}
+		organic += size
+		ring++
+		// Interleave the flooding coalition: FloodFactor extra rings from
+		// the reused flooder identity pool after every organic ring, so
+		// the flood is spread across the whole schedule rather than
+		// bursting at either end.
+		for f := 0; f < cfg.FloodFactor; f++ {
+			fsize := cfg.RingMin + rng.Intn(cfg.RingMax-cfg.RingMin+1)
+			fgroup := floodRing % cfg.FloodParties
+			for i := 0; i < fsize; i++ {
+				offers = append(offers, engine.FloodOffer(ring, i, fsize, fgroup))
+				ringOf = append(ringOf, ring)
+			}
+			ring++
+			floodRing++
 		}
 	}
 	return offers, ringOf

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,6 +19,31 @@ func vtimeConfig(workers int) engine.Config {
 		Delta:         20,
 		Seed:          42,
 		Virtual:       true,
+	}
+}
+
+// checkPartyBalance asserts the per-party intake accounting closes: each
+// party's own row balances (Offered == Submitted + Shed + Refused holds
+// per party, not just in aggregate), and the rows sum back to the run
+// totals — no arrival is attributed twice or to nobody.
+func checkPartyBalance(t *testing.T, st Stats) {
+	t.Helper()
+	if len(st.Parties) == 0 {
+		t.Fatal("no per-party stats recorded")
+	}
+	var off, sub, shed, ref int
+	for party, ps := range st.Parties {
+		if ps.Offered != ps.Submitted+ps.Shed+ps.Refused {
+			t.Errorf("party %s accounting leaks: %+v", party, ps)
+		}
+		off += ps.Offered
+		sub += ps.Submitted
+		shed += ps.Shed
+		ref += ps.Refused
+	}
+	if off != st.Offered || sub != st.Submitted || shed != st.Shed || ref != st.Refused {
+		t.Errorf("party rows sum to %d/%d/%d/%d, run totals %d/%d/%d/%d",
+			off, sub, shed, ref, st.Offered, st.Submitted, st.Shed, st.Refused)
 	}
 }
 
@@ -241,6 +267,7 @@ func TestOpenLoadShedsInsteadOfGrowing(t *testing.T) {
 	if rep.InFlight != 0 || rep.SwapsFailed != 0 {
 		t.Fatalf("engine did not drain clean: %+v", rep.Throughput)
 	}
+	checkPartyBalance(t, st)
 }
 
 // TestRampDegenerateBounds pins ramp's edge cases: from==to must
@@ -306,6 +333,7 @@ func TestBurstLargerThanMaxPending(t *testing.T) {
 	if rep.OffersShed != st.Shed {
 		t.Fatalf("engine counted %d shed, generator %d", rep.OffersShed, st.Shed)
 	}
+	checkPartyBalance(t, st)
 }
 
 // TestZeroRateRejected pins the zero- and negative-rate contract: the
@@ -394,5 +422,110 @@ func TestCancelledRunBalancesAccounting(t *testing.T) {
 	}
 	if st.Refused == 0 {
 		t.Errorf("cancelled schedule counted no refusals (submitted=%d shed=%d)", st.Submitted, st.Shed)
+	}
+	// The balance must hold per party on the abort path too: the cancel
+	// sweep attributes every unfired arrival to its own party.
+	checkPartyBalance(t, st)
+}
+
+// TestFloodOffersInterleave pins the flood generator's stream shape:
+// FloodFactor extra rings from a FloodParties-sized identity pool ride
+// on every organic ring, every flood identity carries the reserved
+// prefix, the organic budget is still met, and no organic party name
+// collides with the flood pool.
+func TestFloodOffersInterleave(t *testing.T) {
+	cfg := Config{Offers: 30, RingMin: 3, RingMax: 3, FloodFactor: 2, FloodParties: 3, Seed: 11}
+	offers, ringOf := buildOffers(cfg.withDefaults())
+	if len(offers) != len(ringOf) {
+		t.Fatalf("ring map %d entries for %d offers", len(ringOf), len(offers))
+	}
+	organic, flood := 0, 0
+	groups := make(map[string]bool)
+	for _, o := range offers {
+		if strings.HasPrefix(string(o.Party), engine.FloodPartyPrefix) {
+			flood++
+			// "flood<G>-p<I>" → group identity "flood<G>".
+			name := string(o.Party)
+			groups[name[:strings.Index(name, "-")]] = true
+			if !strings.HasPrefix(string(o.Give[0].To), engine.FloodPartyPrefix) {
+				t.Fatalf("flood offer gives to organic party: %+v", o)
+			}
+		} else {
+			organic++
+		}
+	}
+	if organic < cfg.Offers || organic >= cfg.Offers+cfg.RingMax {
+		t.Fatalf("organic budget: %d offers for budget %d", organic, cfg.Offers)
+	}
+	// Fixed 3-rings: 2 flood rings per organic ring means exactly 2× the
+	// organic offer count is flood traffic.
+	if flood != 2*organic {
+		t.Fatalf("flood offers %d, want %d (factor 2 of %d organic)", flood, 2*organic, organic)
+	}
+	if len(groups) != cfg.FloodParties {
+		t.Fatalf("flood identities drawn from %d groups, want %d: %v", len(groups), cfg.FloodParties, groups)
+	}
+	// FloodFactor 0 must leave the classic stream untouched.
+	cfg.FloodFactor = 0
+	plain, _ := buildOffers(cfg.withDefaults())
+	classic, _ := buildOffers(Config{Offers: 30, RingMin: 3, RingMax: 3, Seed: 11}.withDefaults())
+	if len(plain) != len(classic) {
+		t.Fatalf("factor-0 stream length %d, classic %d", len(plain), len(classic))
+	}
+	for i := range plain {
+		if plain[i].Party != classic[i].Party {
+			t.Fatalf("factor-0 stream diverged from classic at %d", i)
+		}
+	}
+}
+
+// TestFairShedProtectsOrganicParties is the fair-shedding policy's unit
+// witness: a flood from a small reused identity pool against a tiny book
+// budget, with per-party fair shedding on, must land its sheds on the
+// flooders at a strictly higher rate than on the organic parties — the
+// flooders hold the book, so they are the ones at quota.
+func TestFairShedProtectsOrganicParties(t *testing.T) {
+	rep, err := RunOpenLoad(vtimeConfig(1), Config{
+		Offers:       24,
+		Rate:         1e6, // effectively simultaneous arrivals
+		MaxPending:   4,
+		FairShed:     true,
+		FloodFactor:  3,
+		FloodParties: 2,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Load
+	checkPartyBalance(t, st)
+	var org, flood PartyStats
+	for party, ps := range st.Parties {
+		if strings.HasPrefix(party, engine.FloodPartyPrefix) {
+			flood.Offered += ps.Offered
+			flood.Shed += ps.Shed
+		} else {
+			org.Offered += ps.Offered
+			org.Shed += ps.Shed
+		}
+	}
+	if flood.Offered == 0 || org.Offered == 0 {
+		t.Fatalf("stream not mixed: organic %+v flood %+v", org, flood)
+	}
+	if flood.Shed == 0 {
+		t.Fatalf("flood was never shed: %+v (run %+v)", flood, st)
+	}
+	orgRate := float64(org.Shed) / float64(org.Offered)
+	floodRate := float64(flood.Shed) / float64(flood.Offered)
+	if orgRate >= floodRate {
+		t.Fatalf("fair shedding failed its one job: organic shed rate %.3f (%d/%d) not below flood's %.3f (%d/%d)",
+			orgRate, org.Shed, org.Offered, floodRate, flood.Shed, flood.Offered)
+	}
+	// NoteShedFrom feeds the same engine counter NoteShed does.
+	if rep.OffersShed != st.Shed {
+		t.Fatalf("engine counted %d shed, generator %d", rep.OffersShed, st.Shed)
+	}
+	if rep.InFlight != 0 || rep.SwapsFailed != 0 {
+		t.Fatalf("engine did not drain clean: %+v", rep.Throughput)
 	}
 }

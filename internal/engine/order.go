@@ -61,6 +61,12 @@ type order struct {
 	// digests and traces are built from these.
 	submittedTick vtime.Ticks
 	settledTick   vtime.Ticks
+	// lockCost is the party's capital-lock integral in this order's swap:
+	// escrowed amount × ticks locked, summed over the party's leaving
+	// arcs (token-ticks; tick-domain, so replay-identical). Valid once
+	// settled; 0 for orders restored from a WAL, whose spans died with
+	// the crashed process.
+	lockCost uint64
 }
 
 // OrderSnapshot is the caller-visible copy of an order's state.
@@ -86,6 +92,9 @@ type OrderSnapshot struct {
 	// across replays of a deterministic run.
 	SubmittedTick vtime.Ticks
 	SettledTick   vtime.Ticks
+	// LockTickValue is the party's capital-lock integral (token-ticks)
+	// in the swap that settled this order — see order.lockCost.
+	LockTickValue uint64
 }
 
 func (o *order) snapshot() OrderSnapshot {
@@ -99,6 +108,7 @@ func (o *order) snapshot() OrderSnapshot {
 		Deviant:       o.deviant,
 		SubmittedTick: o.submittedTick,
 		SettledTick:   o.settledTick,
+		LockTickValue: o.lockCost,
 	}
 	if o.status == StatusSettled {
 		s.Latency = o.settledAt.Sub(o.submittedAt)

@@ -114,6 +114,7 @@ func NewRecovered(cfg Config, st RecoveredState) (*Engine, error) {
 		e.orders[o.id] = o
 		if o.status == StatusPending {
 			e.pending = append(e.pending, o)
+			e.pendingBy[o.offer.Party]++
 		}
 	}
 	e.nextOrder = OrderID(st.NextOrder)

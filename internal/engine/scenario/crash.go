@@ -109,7 +109,8 @@ func runCrash(sc Scenario, process loadgen.Process) (*Result, error) {
 	}
 
 	rounds := aRounds + b.ClearRounds()
-	res.Violations = append(res.Violations, sc.budgetViolations(rounds, orders)...)
+	res.Violations = append(res.Violations, sc.budgetViolations(rounds, orders, res.Report)...)
+	res.Violations = append(res.Violations, sc.fairShedViolations(stats)...)
 	res.Digest = buildDigest(sc, stats, res.Report, orders, res.Violations, conservation, rounds, &CrashDigest{
 		Tick:     int64(cut),
 		Replayed: rec.Events,

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"sort"
+	"strings"
 
 	"github.com/go-atomicswap/atomicswap/internal/engine"
 	"github.com/go-atomicswap/atomicswap/internal/engine/loadgen"
@@ -26,6 +27,12 @@ type Digest struct {
 	Submitted int `json:"submitted"`
 	Shed      int `json:"shed"`
 	Refused   int `json:"refused"`
+	// ShedConforming and ShedCoalition split the shed count by side —
+	// flooder identities (engine.FloodPartyPrefix) versus everyone else —
+	// the digest-level witness of the fair-shedding contract. Absent on
+	// scenarios without a flood coalition, keeping older digests stable.
+	ShedConforming int `json:"shed_conforming,omitempty"`
+	ShedCoalition  int `json:"shed_coalition,omitempty"`
 	// FirstTick and LastTick span the arrival schedule.
 	FirstTick int64 `json:"first_tick"`
 	LastTick  int64 `json:"last_tick"`
@@ -49,6 +56,13 @@ type Digest struct {
 	// MaxSettleTick).
 	ClearRounds    int   `json:"clear_rounds"`
 	LastSettleTick int64 `json:"last_settle_tick"`
+
+	// Economics is the run's economic summary — capital-lock integrals,
+	// griefing cost, bribery-safety margin. Every field is tick-domain,
+	// so it replays byte-identically like the rest of the digest; absent
+	// (nil) when no capital ever locked, keeping pre-economics digests
+	// stable.
+	Economics *metrics.EconomicsReport `json:"economics,omitempty"`
 
 	// Crash summarizes the kill-and-recover step of a CrashTick run.
 	Crash *CrashDigest `json:"crash,omitempty"`
@@ -103,6 +117,10 @@ type OrderDigest struct {
 	Deviant    string `json:"deviant,omitempty"`
 	SubmitTick int64  `json:"submit_tick"`
 	SettleTick int64  `json:"settle_tick,omitempty"`
+	// Lock is the party's capital-lock integral in this order's swap
+	// (token-ticks; engine.OrderSnapshot.LockTickValue). Zero — and
+	// absent — for unsettled orders and WAL-restored ones.
+	Lock uint64 `json:"lock,omitempty"`
 }
 
 // JSON renders the digest as canonical JSON (encoding/json sorts map
@@ -141,10 +159,20 @@ func buildDigest(sc Scenario, load loadgen.Stats, rep metrics.Throughput,
 		Reverts:         rep.Reverts,
 		ClearRounds:     clearRounds,
 		LastSettleTick:  int64(lastSettleTick(orders)),
+		Economics:       rep.Economics,
 		Crash:           crash,
 		Conservation:    conservation,
 		Safety:          "ok",
 		Violations:      len(violations),
+	}
+	if _, ok := sc.floodCoalition(); ok {
+		for party, ps := range load.Parties {
+			if strings.HasPrefix(party, engine.FloodPartyPrefix) {
+				d.ShedCoalition += ps.Shed
+			} else {
+				d.ShedConforming += ps.Shed
+			}
+		}
 	}
 	for _, p := range rep.DeltaTrajectory {
 		d.DeltaTrajectory = append(d.DeltaTrajectory, DeltaStep{
@@ -177,6 +205,7 @@ func buildDigest(sc Scenario, load loadgen.Stats, rep metrics.Throughput,
 		if o.Status == engine.StatusSettled {
 			od.Class = o.Class.String()
 			od.SettleTick = int64(o.SettledTick)
+			od.Lock = o.LockTickValue
 			if _, ok := seen[o.Swap]; !ok {
 				seen[o.Swap] = settled{tick: od.SettleTick, swap: o.Swap}
 			}

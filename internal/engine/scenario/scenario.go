@@ -110,6 +110,18 @@ type Scenario struct {
 	// Deviations is the adversarial mix injected into the stream.
 	Deviations []Deviation `json:"deviations,omitempty"`
 
+	// Coalitions injects correlated adversarial groups: one draw per
+	// cleared swap converts a contiguous block of its parties into a
+	// coordinated cohort (cartel, punishment), or floods the intake from
+	// a reused identity pool (flood). See the Coalition type.
+	Coalitions []Coalition `json:"coalitions,omitempty"`
+	// FairShed switches bounded intake from the global MaxPending rule to
+	// per-party fair shedding (loadgen.Config.FairShed): at the
+	// threshold, only parties at or past their share of the book shed —
+	// the policy that keeps a flooding coalition's shed rate above the
+	// organic parties'.
+	FairShed bool `json:"fair_shed,omitempty"`
+
 	// ConfirmDepth, when positive, runs every asset chain under a
 	// confirmation-depth commitment model (engine.CommitmentConfig): a
 	// record is final only ConfirmDepth ticks after it lands, and the
@@ -156,6 +168,11 @@ type Scenario struct {
 	// every safety property still holds. Zero disables the check.
 	MaxClearRounds int         `json:"max_clear_rounds,omitempty"`
 	MaxSettleTick  vtime.Ticks `json:"max_settle_tick,omitempty"`
+	// MaxGriefingCost pins the run's griefing-cost ceiling in token-ticks
+	// (metrics.EconomicsReport): a scheduling or timelock regression that
+	// makes coalitions strictly more expensive for conforming parties is
+	// a Violation even when safety holds. Zero disables the check.
+	MaxGriefingCost uint64 `json:"max_griefing_cost,omitempty"`
 }
 
 // Violation is one failed safety check.
@@ -242,6 +259,9 @@ func (sc Scenario) validate() error {
 	if total > 1 {
 		return fmt.Errorf("scenario %q: deviation rates sum to %v > 1", sc.Name, total)
 	}
+	if err := sc.validateCoalitions(); err != nil {
+		return err
+	}
 	if sc.ReorgRate < 0 || sc.ReorgRate > 1 {
 		return fmt.Errorf("scenario %q: ReorgRate %v outside [0,1]", sc.Name, sc.ReorgRate)
 	}
@@ -298,6 +318,14 @@ func (sc Scenario) strandingMix() bool {
 			return true
 		}
 	}
+	for _, c := range sc.Coalitions {
+		// A cartel withholds random action categories — claims and refunds
+		// included — and may crash mid-swap, so its escrow can strand.
+		// Punishment never escrows and flooders play conforming protocol.
+		if c.Strategy == "cartel" && c.Rate > 0 {
+			return true
+		}
+	}
 	return false
 }
 
@@ -306,6 +334,12 @@ func (sc Scenario) strandingMix() bool {
 // by the swap's own seed, never from shared state — which is what lets
 // the engine call it on the clearing path and still replay
 // byte-identically.
+//
+// Coalitions are drawn first and as a GROUP: one uniform draw per swap
+// against the coalition ladder decides whether the whole cohort forms,
+// before any party flips its independent deviation coin. Coalition
+// members (and flooder identities) are then excluded from the
+// independent ladder — a party belongs to at most one adversary.
 func (sc Scenario) factory() engine.BehaviorFactory {
 	devs := make([]Deviation, 0, len(sc.Deviations))
 	for _, d := range sc.Deviations {
@@ -315,14 +349,39 @@ func (sc Scenario) factory() engine.BehaviorFactory {
 		}
 		devs = append(devs, d)
 	}
-	if len(devs) == 0 {
+	cos := sc.swapCoalitions()
+	_, hasFlood := sc.floodCoalition()
+	if len(devs) == 0 && len(cos) == 0 && !hasFlood {
 		return nil
 	}
 	return func(setup *core.Setup, seed int64) engine.SwapBehaviors {
 		rng := rand.New(rand.NewSource(seed ^ 0x5ce9a610))
 		spec := setup.Spec
 		var sb engine.SwapBehaviors
+		claimed := make(map[digraph.Vertex]bool)
+		if hasFlood {
+			tagFloodParties(setup, &sb, claimed)
+		}
+		// Cartel/punishment draws cover ORGANIC swaps only: a flood ring
+		// is already wholly coalition traffic, and an in-swap coalition
+		// among flooders would grief nobody (griefing cost is conforming
+		// lock, of which an all-coalition swap has none).
+		if len(cos) > 0 && len(claimed) == 0 {
+			u := rng.Float64()
+			acc := 0.0
+			for _, c := range cos {
+				acc += c.Rate
+				if u >= acc {
+					continue
+				}
+				applyCoalition(c, setup, rng, seed, &sb, claimed)
+				break
+			}
+		}
 		for v := 0; v < spec.D.NumVertices(); v++ {
+			if claimed[digraph.Vertex(v)] {
+				continue
+			}
 			u := rng.Float64()
 			acc := 0.0
 			for _, d := range devs {
@@ -407,7 +466,7 @@ func (sc Scenario) recoverEngine(dir string, cut vtime.Ticks) (clearing, *durabl
 
 // loadConfig is the scenario's open-loop generator shape.
 func (sc Scenario) loadConfig(process loadgen.Process) loadgen.Config {
-	return loadgen.Config{
+	cfg := loadgen.Config{
 		Offers:     sc.Offers,
 		RingMin:    sc.RingMin,
 		RingMax:    sc.RingMax,
@@ -416,12 +475,24 @@ func (sc Scenario) loadConfig(process loadgen.Process) loadgen.Config {
 		PartyPool:  sc.PartyPool,
 		MaxPending: sc.MaxPending,
 		Seed:       sc.Seed,
+		FairShed:   sc.FairShed,
 		// Generation placement follows the scenario's OWN shard count,
 		// never the ExecShards override: the stream is part of the
 		// scenario's identity, the execution shape is not.
 		Shards:     sc.Shards,
 		CrossRatio: sc.CrossRatio,
 	}
+	if fc, ok := sc.floodCoalition(); ok {
+		factor := floodFactor(fc.Rate)
+		cfg.FloodFactor = factor
+		cfg.FloodParties = fc.Size
+		// Flood rings ride ON TOP of the organic budget, so the offered
+		// rate scales with them: the organic inter-arrival pace — the
+		// schedule the scenario's non-flood twin would run — is preserved
+		// while the intake sees (1+factor)× the traffic.
+		cfg.Rate *= float64(1 + factor)
+	}
+	return cfg
 }
 
 // Run executes the scenario once and returns its result. The error is
@@ -478,13 +549,14 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	rounds := e.ClearRounds()
-	res.Violations = append(res.Violations, sc.budgetViolations(rounds, orders)...)
+	res.Violations = append(res.Violations, sc.budgetViolations(rounds, orders, res.Report)...)
+	res.Violations = append(res.Violations, sc.fairShedViolations(stats)...)
 	res.Digest = buildDigest(sc, stats, res.Report, orders, res.Violations, conservation, rounds, nil)
 	return res, nil
 }
 
 // budgetViolations applies the scenario's pinned replay budgets.
-func (sc Scenario) budgetViolations(rounds int, orders []engine.OrderSnapshot) []Violation {
+func (sc Scenario) budgetViolations(rounds int, orders []engine.OrderSnapshot, rep metrics.Throughput) []Violation {
 	var out []Violation
 	if sc.MaxClearRounds > 0 && rounds > sc.MaxClearRounds {
 		out = append(out, Violation{Detail: fmt.Sprintf(
@@ -494,7 +566,53 @@ func (sc Scenario) budgetViolations(rounds int, orders []engine.OrderSnapshot) [
 		out = append(out, Violation{Detail: fmt.Sprintf(
 			"budget: last settle at tick %d > pinned max %d", last, sc.MaxSettleTick)})
 	}
+	if sc.MaxGriefingCost > 0 {
+		var cost uint64
+		if e := rep.Economics; e != nil {
+			cost = e.GriefingCostTokenTicks
+		}
+		if cost > sc.MaxGriefingCost {
+			out = append(out, Violation{Detail: fmt.Sprintf(
+				"budget: griefing cost %d token-ticks > pinned max %d", cost, sc.MaxGriefingCost)})
+		}
+	}
 	return out
+}
+
+// fairShedViolations audits the fair-shedding contract on a flooded run:
+// with per-party fair shedding on and a flooding coalition in the
+// stream, the organic (conforming) parties' shed rate must stay strictly
+// below the coalition's — the policy exists precisely so a flood starves
+// itself, not its victims. No-op unless both knobs are present and the
+// run actually shed.
+func (sc Scenario) fairShedViolations(stats loadgen.Stats) []Violation {
+	if !sc.FairShed {
+		return nil
+	}
+	if _, ok := sc.floodCoalition(); !ok {
+		return nil
+	}
+	var org, flood loadgen.PartyStats
+	for party, ps := range stats.Parties {
+		if strings.HasPrefix(party, engine.FloodPartyPrefix) {
+			flood.Offered += ps.Offered
+			flood.Shed += ps.Shed
+		} else {
+			org.Offered += ps.Offered
+			org.Shed += ps.Shed
+		}
+	}
+	if org.Shed+flood.Shed == 0 || org.Offered == 0 || flood.Offered == 0 {
+		return nil
+	}
+	orgRate := float64(org.Shed) / float64(org.Offered)
+	floodRate := float64(flood.Shed) / float64(flood.Offered)
+	if orgRate >= floodRate {
+		return []Violation{{Detail: fmt.Sprintf(
+			"fair-shed: conforming shed rate %.4f (%d/%d) not below coalition's %.4f (%d/%d)",
+			orgRate, org.Shed, org.Offered, floodRate, flood.Shed, flood.Offered)}}
+	}
+	return nil
 }
 
 // lastSettleTick is the latest settle tick across the run's orders.

@@ -104,12 +104,15 @@ func Strategies() []string {
 	return out
 }
 
-// crashBehavior halts an otherwise-conforming party `phase`·Δ after the
-// protocol start. The halt tick depends on the spec's pinned start,
-// which the engine assigns only at run setup — after behaviors are
-// built — so the wrapped HaltAt is materialized on the first callback.
+// crashBehavior halts a party `phase`·Δ after the protocol start —
+// wrapping base (conforming when nil, a coalition member when the crash
+// rides on a coalition draw). The halt tick depends on the spec's pinned
+// start, which the engine assigns only at run setup — after behaviors
+// are built — so the wrapped HaltAt is materialized on the first
+// callback.
 type crashBehavior struct {
 	phase int
+	base  core.Behavior
 	inner core.Behavior
 }
 
@@ -117,7 +120,11 @@ func (c *crashBehavior) resolve(e core.Env) core.Behavior {
 	if c.inner == nil {
 		spec := e.Spec()
 		at := spec.Start.Add(vtime.Scale(c.phase, spec.Delta))
-		c.inner = adversary.HaltAt(core.NewConforming(), at)
+		base := c.base
+		if base == nil {
+			base = core.NewConforming()
+		}
+		c.inner = adversary.HaltAt(base, at)
 	}
 	return c.inner
 }

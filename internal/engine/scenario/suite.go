@@ -181,6 +181,67 @@ func Suite(seedOffset int64) []Scenario {
 			MaxClearRounds: 140, // measured 94
 			MaxSettleTick:  140, // measured 94
 		},
+		{
+			// The secret-sharing cartel as a correlated group: about a
+			// third of swaps grow a coalition of roughly half their ring
+			// that shares leader secrets, unlocks early, randomly withholds
+			// action categories, and occasionally crashes. Withheld
+			// claims/refunds strand escrow (ledger-integrity audit); every
+			// conforming party must still walk away whole, and the run
+			// reports a nonzero griefing cost.
+			Name:    "coalition-cartel",
+			Seed:    1111 + seedOffset,
+			Offers:  48,
+			Rate:    2000,
+			Profile: "poisson",
+			RingMin: 3,
+			RingMax: 5,
+			Coalitions: []Coalition{
+				{Strategy: "cartel", Rate: 0.35, Drop: 0.25, Halt: 0.2},
+			},
+			MaxClearRounds: 145, // measured 95
+			MaxSettleTick:  290, // measured 192
+		},
+		{
+			// Lemma 4.11's punishment cartel: in ~30% of swaps a coalition
+			// escrows nothing, forcing conforming counterparties to wait
+			// out their timelocks and refund — the canonical griefing
+			// attack, priced by the economics layer (griefing cost is the
+			// conforming capital × ticks the coalition locked up for free).
+			Name:    "coalition-punishment",
+			Seed:    1212 + seedOffset,
+			Offers:  48,
+			Rate:    2000,
+			Profile: "poisson",
+			RingMin: 3,
+			RingMax: 5,
+			Coalitions: []Coalition{
+				{Strategy: "punishment", Rate: 0.30},
+			},
+			MaxClearRounds: 135, // measured 88
+			MaxSettleTick:  245, // measured 161
+		},
+		{
+			// Intake flooding under per-party fair shedding: 3 flood offers
+			// ride on every organic one from a 2-group flooder pool,
+			// against a tiny book budget. Fair shedding must land the
+			// sheds on the flooders — the run itself asserts the organic
+			// shed rate stays strictly below the coalition's — while a
+			// punishment rider keeps a nonzero griefing cost on the board.
+			Name:       "coalition-flood",
+			Seed:       1313 + seedOffset,
+			Offers:     48,
+			Rate:       2000,
+			Profile:    "poisson",
+			MaxPending: 16,
+			FairShed:   true,
+			Coalitions: []Coalition{
+				{Strategy: "flood", Rate: 0.75, Size: 2},
+				{Strategy: "punishment", Rate: 0.30},
+			},
+			MaxClearRounds: 115, // measured 76
+			MaxSettleTick:  215, // measured 142
+		},
 	}
 }
 

@@ -452,6 +452,35 @@ func (s *ShardedEngine) Submit(offer core.Offer) (engine.OrderID, error) {
 // merged report folds in like any other).
 func (s *ShardedEngine) NoteShed(n int) { s.shards[0].NoteShed(n) }
 
+// NoteShedFrom is NoteShed with party attribution (fair shedding's WAL
+// trail); recorded on shard 0 like NoteShed.
+func (s *ShardedEngine) NoteShedFrom(party chain.PartyID, n int) {
+	s.shards[0].NoteShedFrom(party, n)
+}
+
+// PendingOf reports the named party's pending-order count across every
+// shard and the coordinator (a party may have orders on several shards,
+// and escalated ones sit in the coordinator's book).
+func (s *ShardedEngine) PendingOf(party chain.PartyID) int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.PendingOf(party)
+	}
+	return n
+}
+
+// PendingParties reports distinct parties with pending orders, summed
+// per engine: a party straddling shards counts once per book it occupies,
+// which keeps the fair-share quota conservative (never larger than the
+// true per-party share).
+func (s *ShardedEngine) PendingParties() int {
+	n := 0
+	for _, e := range s.engines {
+		n += e.PendingParties()
+	}
+	return n
+}
+
 // sweepAt schedules fn at tick t on the escalation level of the ladder.
 func (s *ShardedEngine) sweepAt(t vtime.Ticks, fn func()) sched.Timer {
 	if s.vsched != nil {

@@ -56,6 +56,10 @@ type Aggregate struct {
 	// meter at snapshot time (not accumulated here).
 	signs uint64
 
+	// econ accumulates per-swap capital-lock integrals and bribery
+	// extremes (see economics.go).
+	econ EconomicsTotals
+
 	// Adaptive-Δ telemetry: one point per controller decision, thinned to
 	// every deltaStride-th decision so a long run's trajectory stays
 	// bounded without losing its shape.
@@ -315,6 +319,7 @@ func (a *Aggregate) Merge(other *Aggregate) {
 		}
 		a.chainDeltas[k] = v
 	}
+	a.econ.fold(&other.econ)
 }
 
 // RestoredCounts carries the counters a recovered engine inherits from
@@ -464,6 +469,9 @@ type Throughput struct {
 	// ChainDeltas is the per-chain effective Δ in ticks (chain Δ plus
 	// confirmation depth) under a commitment model. Absent otherwise.
 	ChainDeltas map[string]int `json:"chain_deltas,omitempty"`
+	// Economics carries the capital-lock integrals, griefing cost, and
+	// bribery-safety margin. Absent when the run locked no capital.
+	Economics *EconomicsReport `json:"economics,omitempty"`
 }
 
 // Snapshot captures the aggregate now.
@@ -535,6 +543,7 @@ func (a *Aggregate) Snapshot() Throughput {
 			t.ChainDeltas[k] = v
 		}
 	}
+	t.Economics = a.econ.report()
 	return t
 }
 
@@ -575,6 +584,9 @@ func (t Throughput) String() string {
 			parts[i] = fmt.Sprintf("%s=%d", k, t.RevertsByChain[k])
 		}
 		fmt.Fprintf(&b, "reorgs: %d records reverted (%s)\n", t.Reverts, strings.Join(parts, " "))
+	}
+	if e := t.Economics; e != nil {
+		fmt.Fprintf(&b, "%s\n", e)
 	}
 	if n := len(t.DeltaTrajectory); n > 0 {
 		last := t.DeltaTrajectory[n-1]

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SwapEconomics is one settled swap's economic outcome, computed by the
+// engine from the run's escrow spans and final transfers:
+//
+//   - Lock integrals: for each arc whose contract published, the escrowed
+//     amount × the ticks it stayed locked (publish → resolve, or the
+//     run's horizon when stranded), attributed to the arc's escrowing
+//     party and split by whether that party was conforming or an
+//     injected deviant. This is the 4-Swap paper's griefing measure —
+//     capital × time — in token-ticks.
+//   - Net transfers: value each side actually gained or lost once the
+//     swap settled, for the bribery-safety extremes. Theorem 4.9 says a
+//     conforming party never ends Underwater, so ConformingLoss should
+//     stay 0 on every run; CoalitionGain is the most any deviant cohort
+//     walked away with in a single swap.
+//
+// All quantities are tick-domain and therefore identical across replays
+// of a deterministic run.
+type SwapEconomics struct {
+	// ConformingLock and DeviantLock are the swap's capital-lock
+	// integrals (token-ticks) split by the escrowing party's side.
+	ConformingLock uint64
+	DeviantLock    uint64
+	// Deviant marks a swap that carried at least one injected deviating
+	// party — the conforming lock inside such swaps is the swap's
+	// griefing cost (capital the coalition forced conforming parties to
+	// commit and wait out).
+	Deviant bool
+	// ConformingLoss is the summed value conforming parties netted OUT of
+	// the swap (0 when Theorem 4.9 holds); CoalitionGain is the summed
+	// value deviating parties netted IN.
+	ConformingLoss uint64
+	CoalitionGain  uint64
+}
+
+// EconomicsTotals accumulates SwapEconomics across a run. Plain data so
+// the sharded engine's Merge can fold shard totals without extra locks
+// (the owning Aggregate's mutex guards it).
+type EconomicsTotals struct {
+	ConformingLock uint64
+	DeviantLock    uint64
+	// GriefingCost = Σ ConformingLock over deviant-carrying swaps. The
+	// empty coalition griefs nothing: with no deviants anywhere this is
+	// exactly 0 no matter how much conforming capital locked.
+	GriefingCost uint64
+	GriefedSwaps int
+	// WorstConformingLoss and BestCoalitionGain are per-swap maxima, not
+	// sums: the bribery margin asks about the single most profitable
+	// deviation available, not the campaign total.
+	WorstConformingLoss uint64
+	BestCoalitionGain   uint64
+}
+
+func (t *EconomicsTotals) add(se SwapEconomics) {
+	t.ConformingLock += se.ConformingLock
+	t.DeviantLock += se.DeviantLock
+	if se.Deviant {
+		t.GriefingCost += se.ConformingLock
+		t.GriefedSwaps++
+	}
+	if se.ConformingLoss > t.WorstConformingLoss {
+		t.WorstConformingLoss = se.ConformingLoss
+	}
+	if se.CoalitionGain > t.BestCoalitionGain {
+		t.BestCoalitionGain = se.CoalitionGain
+	}
+}
+
+func (t *EconomicsTotals) fold(other *EconomicsTotals) {
+	t.ConformingLock += other.ConformingLock
+	t.DeviantLock += other.DeviantLock
+	t.GriefingCost += other.GriefingCost
+	t.GriefedSwaps += other.GriefedSwaps
+	if other.WorstConformingLoss > t.WorstConformingLoss {
+		t.WorstConformingLoss = other.WorstConformingLoss
+	}
+	if other.BestCoalitionGain > t.BestCoalitionGain {
+		t.BestCoalitionGain = other.BestCoalitionGain
+	}
+}
+
+func (t *EconomicsTotals) empty() bool {
+	return t.ConformingLock == 0 && t.DeviantLock == 0 && t.GriefingCost == 0 &&
+		t.GriefedSwaps == 0 && t.WorstConformingLoss == 0 && t.BestCoalitionGain == 0
+}
+
+// AddEconomics folds one settled swap's economic outcome into the
+// aggregate.
+func (a *Aggregate) AddEconomics(se SwapEconomics) {
+	a.mu.Lock()
+	a.econ.add(se)
+	a.mu.Unlock()
+}
+
+// EconomicsReport is the run-level economic summary: capital-lock
+// integrals, griefing cost, and the bribery-safety margin.
+type EconomicsReport struct {
+	// ConformingLockTokenTicks / DeviantLockTokenTicks are the run's
+	// capital-lock integrals split by side.
+	ConformingLockTokenTicks uint64 `json:"conforming_lock_token_ticks"`
+	DeviantLockTokenTicks    uint64 `json:"deviant_lock_token_ticks,omitempty"`
+	// GriefingCostTokenTicks is the conforming capital-lock integral
+	// inside deviant-carrying swaps — what the adversary cost honest
+	// parties — over GriefedSwaps swaps.
+	GriefingCostTokenTicks uint64 `json:"griefing_cost_token_ticks,omitempty"`
+	GriefedSwaps           int    `json:"griefed_swaps,omitempty"`
+	// GriefingFactor normalizes griefing cost by the deviants' own
+	// locked capital: how many token-ticks of conforming lockup one
+	// token-tick of adversarial stake buys (the 4-Swap paper's ratio).
+	GriefingFactor float64 `json:"griefing_factor,omitempty"`
+	// WorstConformingLoss is the largest per-swap net loss any
+	// conforming cohort suffered (Theorem 4.9 predicts 0);
+	// BestCoalitionGain is the largest per-swap net value any deviating
+	// cohort extracted. BriberySafetyMargin = gain − loss: the most an
+	// adversary could rationally offer as bribes while conforming
+	// parties still lose nothing by staying honest.
+	WorstConformingLoss uint64 `json:"worst_conforming_loss,omitempty"`
+	BestCoalitionGain   uint64 `json:"best_coalition_gain,omitempty"`
+	BriberySafetyMargin int64  `json:"bribery_safety_margin,omitempty"`
+}
+
+// report builds the snapshot view, or nil when nothing economic happened
+// (keeps pre-economics reports byte-stable for callers that never lock
+// capital, e.g. pure micro-bench paths).
+func (t *EconomicsTotals) report() *EconomicsReport {
+	if t.empty() {
+		return nil
+	}
+	r := &EconomicsReport{
+		ConformingLockTokenTicks: t.ConformingLock,
+		DeviantLockTokenTicks:    t.DeviantLock,
+		GriefingCostTokenTicks:   t.GriefingCost,
+		GriefedSwaps:             t.GriefedSwaps,
+		WorstConformingLoss:      t.WorstConformingLoss,
+		BestCoalitionGain:        t.BestCoalitionGain,
+		BriberySafetyMargin:      int64(t.BestCoalitionGain) - int64(t.WorstConformingLoss),
+	}
+	if t.DeviantLock > 0 {
+		r.GriefingFactor = float64(t.GriefingCost) / float64(t.DeviantLock)
+	}
+	return r
+}
+
+// JSON renders the report as one JSON object.
+func (r *EconomicsReport) JSON() string {
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+func (r *EconomicsReport) String() string {
+	return fmt.Sprintf("econ:   %d token-ticks conforming lock, %d deviant; griefing %d over %d swaps (factor %.2f), bribery margin %d",
+		r.ConformingLockTokenTicks, r.DeviantLockTokenTicks,
+		r.GriefingCostTokenTicks, r.GriefedSwaps, r.GriefingFactor,
+		r.BriberySafetyMargin)
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEconomicsAccumulate pins the fold rules: lock integrals and
+// griefing cost sum, the bribery extremes are per-swap MAXIMA (the
+// margin asks about the single most profitable deviation, not the
+// campaign total), and only deviant-carrying swaps contribute their
+// conforming lock to the griefing cost.
+func TestEconomicsAccumulate(t *testing.T) {
+	a := NewAggregate()
+	// A clean swap: conforming capital locked, nobody deviant.
+	a.AddEconomics(SwapEconomics{ConformingLock: 500})
+	// A griefed swap: 300 conforming token-ticks wasted against 40 of
+	// adversarial stake, the cohort netting 25 out of it.
+	a.AddEconomics(SwapEconomics{
+		ConformingLock: 300, DeviantLock: 40, Deviant: true, CoalitionGain: 25,
+	})
+	// A second griefed swap with a smaller gain: must not lower the max.
+	a.AddEconomics(SwapEconomics{
+		ConformingLock: 200, DeviantLock: 60, Deviant: true, CoalitionGain: 10,
+	})
+
+	e := a.Snapshot().Economics
+	if e == nil {
+		t.Fatal("economics report missing")
+	}
+	if e.ConformingLockTokenTicks != 1000 || e.DeviantLockTokenTicks != 100 {
+		t.Fatalf("lock integrals: %+v", e)
+	}
+	if e.GriefingCostTokenTicks != 500 || e.GriefedSwaps != 2 {
+		t.Fatalf("griefing (clean swap's lock must not count): %+v", e)
+	}
+	if math.Abs(e.GriefingFactor-5.0) > 1e-9 {
+		t.Fatalf("griefing factor %v, want 500/100 = 5", e.GriefingFactor)
+	}
+	if e.BestCoalitionGain != 25 || e.WorstConformingLoss != 0 {
+		t.Fatalf("bribery extremes are maxima, not sums: %+v", e)
+	}
+	if e.BriberySafetyMargin != 25 {
+		t.Fatalf("bribery margin %d, want gain 25 - loss 0", e.BriberySafetyMargin)
+	}
+}
+
+// TestEconomicsMergePreservesCounters is the sharded-clearing contract:
+// folding shard aggregates must preserve the economic counters — sums
+// for the integrals and griefing cost, maxima for the bribery extremes —
+// so a sharded run reports the same economics a serial one would.
+func TestEconomicsMergePreservesCounters(t *testing.T) {
+	shard1 := NewAggregate()
+	shard1.AddEconomics(SwapEconomics{
+		ConformingLock: 100, DeviantLock: 10, Deviant: true, CoalitionGain: 7,
+	})
+	shard2 := NewAggregate()
+	shard2.AddEconomics(SwapEconomics{ConformingLock: 50})
+	shard2.AddEconomics(SwapEconomics{
+		ConformingLock: 30, DeviantLock: 20, Deviant: true, CoalitionGain: 3, ConformingLoss: 2,
+	})
+
+	total := NewAggregate()
+	total.Merge(shard1)
+	total.Merge(shard2)
+	e := total.Snapshot().Economics
+	if e == nil {
+		t.Fatal("merged economics missing")
+	}
+	if e.ConformingLockTokenTicks != 180 || e.DeviantLockTokenTicks != 30 {
+		t.Fatalf("merged lock integrals: %+v", e)
+	}
+	if e.GriefingCostTokenTicks != 130 || e.GriefedSwaps != 2 {
+		t.Fatalf("merged griefing: %+v", e)
+	}
+	if e.BestCoalitionGain != 7 || e.WorstConformingLoss != 2 {
+		t.Fatalf("merged extremes must be cross-shard maxima: %+v", e)
+	}
+	if e.BriberySafetyMargin != 5 {
+		t.Fatalf("merged bribery margin %d, want 7-2", e.BriberySafetyMargin)
+	}
+}
+
+// TestEconomicsEmptyIsAbsent pins the compatibility contract: a run that
+// never locked capital reports no economics block at all (nil, omitted
+// from JSON), and the empty coalition — deviant-free swaps, however much
+// they lock — griefs exactly nothing.
+func TestEconomicsEmptyIsAbsent(t *testing.T) {
+	if e := NewAggregate().Snapshot().Economics; e != nil {
+		t.Fatalf("empty aggregate reported economics: %+v", e)
+	}
+	a := NewAggregate()
+	a.AddEconomics(SwapEconomics{ConformingLock: 999})
+	e := a.Snapshot().Economics
+	if e == nil {
+		t.Fatal("locked capital must surface a report")
+	}
+	if e.GriefingCostTokenTicks != 0 || e.GriefedSwaps != 0 || e.BriberySafetyMargin != 0 {
+		t.Fatalf("empty coalition griefed: %+v", e)
+	}
+}
